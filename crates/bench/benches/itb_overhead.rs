@@ -1,0 +1,35 @@
+//! Criterion bench: wall-clock cost of simulating the Figure-8 paths — the
+//! UD loop path versus the in-transit-buffer path (harness performance; the
+//! simulated 1.3 µs overhead is produced by the `fig8` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itb_core::experiments::ping_pong;
+use itb_core::{ClusterSpec, McpFlavor};
+use itb_routing::figures;
+use std::hint::black_box;
+
+fn round(itb_path: bool, size: u32) -> f64 {
+    let base = ClusterSpec::fig6_testbed().with_mcp(McpFlavor::Itb);
+    let tb = base.testbed.clone().expect("testbed");
+    let forward = if itb_path {
+        figures::fig8_itb_route(&tb)
+    } else {
+        figures::fig8_ud_route(&tb)
+    };
+    let spec = base
+        .with_route_override(forward)
+        .with_route_override(figures::fig8_return_route(&tb));
+    let r = ping_pong(&spec, tb.host1, tb.host2, &[size], 3, 1);
+    r.points[0].half_rtt_ns.mean()
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_path_sim");
+    g.sample_size(20);
+    g.bench_function("ud_loop_path", |b| b.iter(|| black_box(round(false, 256))));
+    g.bench_function("itb_path", |b| b.iter(|| black_box(round(true, 256))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

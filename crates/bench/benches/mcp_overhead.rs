@@ -1,0 +1,32 @@
+//! Criterion bench: wall-clock cost of simulating one Figure-7-style
+//! ping-pong round under each MCP flavour (harness performance; the
+//! simulated-time overhead itself is produced by the `fig7` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itb_core::experiments::ping_pong;
+use itb_core::{ClusterSpec, McpFlavor, RoutingPolicy};
+use std::hint::black_box;
+
+fn round(flavor: McpFlavor, size: u32) -> f64 {
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(flavor)
+        .with_routing(RoutingPolicy::UpDown);
+    let tb = spec.testbed.clone().expect("testbed");
+    let r = ping_pong(&spec, tb.host1, tb.host2, &[size], 3, 1);
+    r.points[0].half_rtt_ns.mean()
+}
+
+fn bench_mcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcp_pingpong_sim");
+    g.sample_size(20);
+    for (label, flavor) in [
+        ("original", McpFlavor::Original),
+        ("itb", McpFlavor::Itb),
+    ] {
+        g.bench_function(label, |b| b.iter(|| black_box(round(flavor, 256))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mcp);
+criterion_main!(benches);

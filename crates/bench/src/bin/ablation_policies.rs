@@ -1,0 +1,95 @@
+//! Ablation: two secondary design choices DESIGN.md calls out —
+//!
+//! * **crossbar output arbitration** (FIFO vs round-robin) under load;
+//! * **in-transit host selection** (First vs RoundRobin): the follow-up
+//!   papers recommend spreading ejection load across a switch's hosts.
+//!
+//! `cargo run --release -p itb-bench --bin ablation_policies [switches] [seed]`
+
+use itb_core::experiments::{load_sweep, LoadSweep};
+use itb_core::{ClusterSpec, RoutingPolicy};
+use itb_gm::AppBehavior;
+use itb_net::config::Arbitration;
+use itb_routing::planner::ItbHostSelection;
+use itb_sim::{run_until, EventQueue, SimDuration, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    arbitration: Vec<(String, f64, f64)>,
+    selection: Vec<(String, f64, u64)>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let switches: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut out = Out {
+        arbitration: vec![],
+        selection: vec![],
+    };
+
+    // --- Arbitration under a near-saturation load. ---------------------
+    println!("# Ablation — crossbar output arbitration ({switches}-switch network, 512 B @ 18 MB/s/host)");
+    println!("{:>12} {:>14} {:>14}", "arbitration", "accepted MB/s", "latency (us)");
+    let sweep = LoadSweep {
+        size: 512,
+        offered_mb_s: vec![18.0],
+        warmup: SimDuration::from_ms(2),
+        window: SimDuration::from_ms(6),
+        drain: SimDuration::from_ms(3),
+    };
+    for (name, arb) in [("fifo", Arbitration::Fifo), ("round-robin", Arbitration::RoundRobin)] {
+        let mut spec = ClusterSpec::irregular(switches, seed).with_routing(RoutingPolicy::Itb);
+        spec.calib.net.arbitration = arb;
+        let p = &load_sweep(&spec, &sweep)[0];
+        println!("{:>12} {:>14.1} {:>14.1}", name, p.accepted_mb_s, p.avg_latency_us);
+        out.arbitration
+            .push((name.into(), p.accepted_mb_s, p.avg_latency_us));
+    }
+
+    // --- ITB host selection: ejection-load spread. ----------------------
+    println!();
+    println!("# Ablation — in-transit host selection (ejection load spread)");
+    println!(
+        "{:>12} {:>22} {:>16}",
+        "selection", "max/mean fwd per host", "max forwards"
+    );
+    for (name, sel) in [
+        ("first", ItbHostSelection::First),
+        ("round-robin", ItbHostSelection::RoundRobin),
+    ] {
+        let spec = ClusterSpec::irregular(switches, seed)
+            .with_routing(RoutingPolicy::Itb)
+            .with_itb_selection(sel);
+        let n = spec.num_hosts();
+        let behaviors = vec![
+            AppBehavior::Poisson {
+                size: 512,
+                mean_gap: SimDuration::from_us(40),
+                limit: 40,
+            };
+            n
+        ];
+        let mut cluster = spec.build(behaviors);
+        let mut q = EventQueue::new();
+        cluster.start(&mut q);
+        run_until(&mut cluster, &mut q, SimTime::from_ms(30));
+        let forwards: Vec<u64> = (0..n as u16)
+            .map(|h| cluster.nic(itb_topo::HostId(h)).stats().itb_forwards)
+            .collect();
+        let active: Vec<u64> = forwards.iter().copied().filter(|&f| f > 0).collect();
+        let max = active.iter().copied().max().unwrap_or(0);
+        let mean = active.iter().sum::<u64>() as f64 / active.len().max(1) as f64;
+        let spread = max as f64 / mean.max(1e-9);
+        println!("{:>12} {:>22.2} {:>16}", name, spread, max);
+        out.selection.push((name.into(), spread, max));
+    }
+    println!();
+    println!(
+        "Round-robin selection spreads the ejection/re-injection burden across \
+         each switch's hosts, lowering the hottest host's forward count — the \
+         balance argument behind the follow-up papers' recommendation."
+    );
+    itb_bench::dump_json(&format!("ablation_policies_{switches}sw_seed{seed}"), &out);
+}

@@ -1,0 +1,67 @@
+//! Extension: sustained one-way bandwidth versus message size on the
+//! Figure 6 testbed (the bandwidth half of `gm_allsize`'s report), under
+//! both MCP flavours — the throughput counterpart of Figure 7, showing the
+//! ITB support code costs essentially nothing in bandwidth.
+//!
+//! `cargo run --release -p itb-bench --bin bandwidth [count]`
+
+use itb_core::experiments::stream_bandwidth;
+use itb_core::{ClusterSpec, McpFlavor, RoutingPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    sizes: Vec<u32>,
+    original_mb_s: Vec<f64>,
+    modified_mb_s: Vec<f64>,
+}
+
+fn main() {
+    let count: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let sizes = [64u32, 256, 1024, 4096, 16_384, 65_536];
+
+    let run = |flavor: McpFlavor| {
+        let spec = ClusterSpec::fig6_testbed()
+            .with_mcp(flavor)
+            .with_routing(RoutingPolicy::UpDown);
+        let tb = spec.testbed.clone().expect("testbed");
+        stream_bandwidth(&spec, tb.host1, tb.host2, &sizes, count)
+    };
+    eprintln!("streaming {count} messages per size under each MCP flavour...");
+    let orig = run(McpFlavor::Original);
+    let modi = run(McpFlavor::Itb);
+
+    println!("# One-way bandwidth vs message size (host1 -> host2)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "bytes", "original MB/s", "ITB MCP MB/s", "loss %"
+    );
+    for (o, m) in orig.iter().zip(&modi) {
+        println!(
+            "{:>8} {:>16.1} {:>16.1} {:>9.2}%",
+            o.size,
+            o.mb_per_s,
+            m.mb_per_s,
+            (o.mb_per_s - m.mb_per_s) / o.mb_per_s * 100.0
+        );
+    }
+    println!();
+    println!(
+        "From ~1 KiB up the ITB support code is invisible at bandwidth level \
+         (pipelining hides the ~125 ns per packet). For wire-saturating tiny \
+         messages the receive path is firmware-CPU-bound, so the extra \
+         Early-Recv work takes a visible bite — a cost the paper's unloaded \
+         latency test cannot see."
+    );
+    itb_bench::dump_json(
+        "bandwidth",
+        &Out {
+            sizes: sizes.to_vec(),
+            original_mb_s: orig.iter().map(|p| p.mb_per_s).collect(),
+            modified_mb_s: modi.iter().map(|p| p.mb_per_s).collect(),
+        },
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerate **Figure 7**: average half-round-trip latency versus message
+//! length for the original and ITB-enabled MCP, plus the per-size overhead
+//! and the paper's summary row (average/max overhead).
+//!
+//! `cargo run --release -p itb-bench --bin fig7 [iters]`
+
+use itb_core::experiments::fig7;
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100); // the paper averages 100 iterations per size
+    eprintln!("running Figure 7 ({iters} iterations per size)...");
+    let f = fig7(iters);
+
+    println!("# Figure 7 — message latency overhead of the new GM/MCP code");
+    println!(
+        "{:>8} {:>18} {:>18} {:>14}",
+        "bytes", "original(us)", "modified(us)", "overhead(ns)"
+    );
+    let over = f.overhead_ns();
+    for ((o, m), (_, d)) in f
+        .original
+        .points
+        .iter()
+        .zip(&f.modified.points)
+        .zip(&over.points)
+    {
+        println!(
+            "{:>8} {:>18.3} {:>18.3} {:>14.0}",
+            o.size,
+            o.half_rtt_ns.mean() / 1000.0,
+            m.half_rtt_ns.mean() / 1000.0,
+            d
+        );
+    }
+    let (avg, max) = f.summary();
+    println!();
+    println!("average overhead : {avg:.0} ns   (paper: ~125 ns)");
+    println!("maximum overhead : {max:.0} ns   (paper: does not exceed 300 ns)");
+    // Relative overhead, as the paper quotes (1% short -> 0.4% long).
+    let rel_small = over.points[0].1 / (f.original.points[0].half_rtt_ns.mean()) * 100.0;
+    let last = f.original.points.len() - 1;
+    let rel_large = over.points[last].1 / (f.original.points[last].half_rtt_ns.mean()) * 100.0;
+    println!("relative overhead: {rel_small:.2}% (short) -> {rel_large:.2}% (long)   (paper: 1% -> 0.4%)");
+
+    let orig_pts = f.original.to_series().points;
+    let mod_pts = f.modified.to_series().points;
+    println!();
+    print!(
+        "{}",
+        itb_bench::ascii_chart(
+            &[
+                ("Original MCP code (half-RTT us)", &orig_pts),
+                ("Modified MCP code", &mod_pts),
+            ],
+            64,
+            14,
+        )
+    );
+
+    itb_bench::dump_json("fig7", &f);
+}

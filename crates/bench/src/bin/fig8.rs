@@ -1,0 +1,56 @@
+//! Regenerate **Figure 8**: half-round-trip latency over the matched
+//! 5-crossing testbed paths (UD via the loop cable vs UD-ITB via one
+//! in-transit host) and the resulting per-ITB overhead.
+//!
+//! `cargo run --release -p itb-bench --bin fig8 [iters]`
+
+use itb_core::experiments::fig8;
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100); // the paper averages 100 iterations per size
+    eprintln!("running Figure 8 ({iters} iterations per size)...");
+    let f = fig8(iters);
+
+    println!("# Figure 8 — message latency overhead of the ITB mechanism");
+    println!(
+        "{:>8} {:>14} {:>14} {:>16}",
+        "bytes", "UD(us)", "UD-ITB(us)", "per-ITB(us)"
+    );
+    let over = f.overhead_us();
+    for ((u, i), (_, d)) in f.ud.points.iter().zip(&f.itb.points).zip(&over.points) {
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>16.3}",
+            u.size,
+            u.half_rtt_ns.mean() / 1000.0,
+            i.half_rtt_ns.mean() / 1000.0,
+            d
+        );
+    }
+    let s = f.summary();
+    println!();
+    println!(
+        "mean per-ITB overhead: {:.2} us   (paper: ~1.3 us)",
+        s.mean_overhead_us
+    );
+    println!(
+        "relative overhead    : {:.1}% (short) -> {:.1}% (long)   (paper: 10% -> 3%)",
+        s.relative_small_pct, s.relative_large_pct
+    );
+
+    let ud_pts = f.ud.to_series().points;
+    let itb_pts = f.itb.to_series().points;
+    println!();
+    print!(
+        "{}",
+        itb_bench::ascii_chart(
+            &[("UD (half-RTT us)", &ud_pts), ("UD-ITB", &itb_pts)],
+            64,
+            14,
+        )
+    );
+
+    itb_bench::dump_json("fig8", &f);
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: where does a message's latency go? Decomposes one-way
+//! latency on the Figure 6 testbed into pipeline stages using the
+//! simulator's per-packet timelines — the map from the calibrated constants
+//! (DESIGN.md §5) to the curves of Figures 7 and 8.
+//!
+//! `cargo run --release -p itb-bench --bin latency_breakdown [size]`
+
+use itb_core::experiments::latency_breakdown;
+use itb_core::{ClusterSpec, McpFlavor};
+
+fn main() {
+    let sizes: Vec<u32> = match std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        Some(one) => vec![one],
+        None => vec![32, 1024, 4096],
+    };
+    let spec = ClusterSpec::fig6_testbed().with_mcp(McpFlavor::Itb);
+    let tb = spec.testbed.clone().expect("testbed");
+
+    for &size in &sizes {
+        let stages = latency_breakdown(&spec, tb.host1, tb.host2, size);
+        let total: f64 = stages.iter().map(|s| s.ns).sum();
+        println!("# One-way latency breakdown, {size} B message (total {:.2} us)", total / 1000.0);
+        for s in &stages {
+            let pct = s.ns / total * 100.0;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            println!("{:>44} {:>10.0} ns {:>5.1}% {}", s.stage, s.ns, pct, bar);
+        }
+        println!();
+        itb_bench::dump_json(&format!("latency_breakdown_{size}"), &stages);
+    }
+    println!(
+        "Host-side processing dominates short messages; the streaming stage \
+         (wire + overlapping DMA) takes over with size — which is exactly why \
+         the constant ~1.3 us per-ITB cost fades in relative terms (Fig. 8)."
+    );
+}

@@ -1,0 +1,87 @@
+//! Regenerate the motivation experiment (M-THR): accepted throughput and
+//! average latency versus offered load on irregular networks, up*/down*
+//! versus ITB routing — the simulation result the paper's §2 cites (its
+//! references report network throughput doubling, sometimes tripling).
+//!
+//! `cargo run --release -p itb-bench --bin motivation_throughput [switches] [seed]`
+
+use itb_core::experiments::{load_sweep, LoadSweep};
+use itb_core::{ClusterSpec, RoutingPolicy};
+use itb_sim::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    switches: usize,
+    seed: u64,
+    size: u32,
+    ud: Vec<itb_core::LoadPoint>,
+    itb: Vec<itb_core::LoadPoint>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let switches: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let sweep = LoadSweep {
+        size: 512,
+        offered_mb_s: vec![2.0, 5.0, 10.0, 15.0, 20.0, 26.0, 32.0, 40.0, 50.0],
+        warmup: SimDuration::from_ms(2),
+        window: SimDuration::from_ms(6),
+        drain: SimDuration::from_ms(3),
+    };
+
+    eprintln!("load sweep on a {switches}-switch irregular network (seed {seed})...");
+    let run = |policy: RoutingPolicy| {
+        let spec = ClusterSpec::irregular(switches, seed).with_routing(policy);
+        load_sweep(&spec, &sweep)
+    };
+    let ud = run(RoutingPolicy::UpDown);
+    let itb = run(RoutingPolicy::Itb);
+
+    println!("# Motivation — accepted throughput & latency vs offered load");
+    println!("# ({switches} switches, {} hosts, 512 B uniform Poisson)", switches * 4);
+    println!(
+        "{:>12} | {:>12} {:>12} {:>10} | {:>12} {:>12} {:>10}",
+        "offered/host", "UD acc", "UD lat us", "UD del%", "ITB acc", "ITB lat us", "ITB del%"
+    );
+    for (u, i) in ud.iter().zip(&itb) {
+        println!(
+            "{:>12.1} | {:>12.1} {:>12.1} {:>9.1}% | {:>12.1} {:>12.1} {:>9.1}%",
+            u.offered_mb_s,
+            u.accepted_mb_s,
+            u.avg_latency_us,
+            u.delivered as f64 / u.sent.max(1) as f64 * 100.0,
+            i.accepted_mb_s,
+            i.avg_latency_us,
+            i.delivered as f64 / i.sent.max(1) as f64 * 100.0,
+        );
+    }
+
+    // Saturation summary: the highest offered load where >=90% of window
+    // messages were delivered by the horizon.
+    let sat = |pts: &[itb_core::LoadPoint]| {
+        pts.iter()
+            .filter(|p| p.delivered as f64 >= 0.90 * p.sent as f64)
+            .map(|p| p.accepted_mb_s)
+            .fold(0.0f64, f64::max)
+    };
+    let (su, si) = (sat(&ud), sat(&itb));
+    println!();
+    println!(
+        "saturation throughput: UD {su:.0} MB/s, ITB {si:.0} MB/s  (ratio {:.2}x; the paper's references report 2-3x on comparable networks)",
+        si / su.max(1e-9)
+    );
+
+    itb_bench::dump_json(
+        &format!("motivation_throughput_{switches}sw_seed{seed}"),
+        &Out {
+            switches,
+            seed,
+            size: sweep.size,
+            ud,
+            itb,
+        },
+    );
+}

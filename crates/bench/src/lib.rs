@@ -1,0 +1,119 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each `fig*`/`motivation_*`/`ablation_*` binary prints the rows the paper
+//! plots AND writes the raw data as JSON under `results/` so EXPERIMENTS.md
+//! numbers stay regenerable artifacts.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where result JSON files land (workspace-relative `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ITB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("can create results dir");
+    p
+}
+
+/// Serialize `value` to `results/<name>.json` and report the path.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json).expect("can write result file");
+    println!("[wrote {}]", path.display());
+}
+
+/// Format a right-aligned row of f64 cells with the given width/precision.
+pub fn row(cells: &[f64], width: usize, prec: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$.prec$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render up to four `(label, points)` series as a quick terminal chart —
+/// log-scaled x (byte sizes), linear y — so the `fig*` binaries echo the
+/// paper's figures visually as well as numerically.
+pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const MARKS: [char; 4] = ['o', '+', 'x', '*'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (xmin, xmax) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let (ymin, ymax) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    let lx = |x: f64| x.max(1.0).log2();
+    let (lxmin, lxmax) = (lx(xmin), lx(xmax));
+    let xs = (lxmax - lxmin).max(1e-9);
+    let ys = (ymax - ymin).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for &(x, y) in pts.iter() {
+            let cx = (((lx(x) - lxmin) / xs) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / ys) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            grid[row][cx] = MARKS[si % MARKS.len()];
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>9.1} ┐\n"));
+    for row in &grid {
+        out.push_str("          │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>9.1} ┴"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "           {:<10} {:>width$}\n",
+        format!("{xmin:.0}B"),
+        format!("{xmax:.0}B (log x)"),
+        width = width.saturating_sub(10),
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("           {} {label}\n", MARKS[si % MARKS.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats() {
+        assert_eq!(row(&[1.0, 2.5], 6, 1), "   1.0    2.5");
+    }
+
+    #[test]
+    fn ascii_chart_places_marks() {
+        let a = [(8.0, 1.0), (64.0, 2.0), (4096.0, 10.0)];
+        let b = [(8.0, 1.5), (4096.0, 11.0)];
+        let s = ascii_chart(&[("ud", &a), ("itb", &b)], 40, 10);
+        assert!(s.contains('o'));
+        assert!(s.contains('+'));
+        assert!(s.contains("ud"));
+        assert!(s.contains("itb"));
+        assert!(s.contains("8B"));
+        assert_eq!(ascii_chart(&[("x", &[])], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn dump_json_writes_file() {
+        std::env::set_var("ITB_RESULTS_DIR", "/tmp/itb-bench-test-results");
+        dump_json("unit_test", &vec![1, 2, 3]);
+        let s = std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test.json").unwrap();
+        assert!(s.contains('1'));
+        std::env::remove_var("ITB_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,29 @@
+//! # itb-core — the public façade of the ITB reproduction
+//!
+//! Everything a downstream user needs to reproduce the paper:
+//!
+//! * [`ClusterSpec`] — a builder over topology + firmware flavour + routing
+//!   policy + calibrated timing, producing runnable clusters;
+//! * [`experiments`] — the measurement drivers: `gm_allsize`-style latency
+//!   sweeps ([`experiments::ping_pong`]), the Figure 7 and Figure 8
+//!   reproductions, load sweeps for the motivation experiments, and the
+//!   ITB-count / buffer-pool ablations;
+//! * [`results`] — serde-serializable result records so every number in
+//!   EXPERIMENTS.md can be regenerated and archived;
+//! * [`calib`] — the calibration constants in one place.
+//!
+//! Parameter sweeps fan out over independent simulations with rayon: each
+//! point builds its own [`itb_gm::Cluster`], so parallelism is trivially
+//! safe and the per-point results stay bit-deterministic.
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod experiments;
+pub mod results;
+pub mod spec;
+
+pub use itb_nic::McpFlavor;
+pub use itb_routing::RoutingPolicy;
+pub use results::{Fig7Result, Fig8Result, LatencyPoint, LatencyReport, LoadPoint};
+pub use spec::ClusterSpec;

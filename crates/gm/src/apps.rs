@@ -1,0 +1,99 @@
+//! Application behaviours driving the cluster.
+
+use itb_sim::SimDuration;
+use itb_topo::HostId;
+use serde::{Deserialize, Serialize};
+
+/// What a host's application does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AppBehavior {
+    /// Passive: consume messages, do nothing.
+    Sink,
+    /// Respond to every delivered message with an equal-size message back
+    /// to the sender (the responder half of `gm_allsize`).
+    Echo,
+    /// The initiator half of the `gm_allsize` latency test: for each size,
+    /// send a message to `peer`, wait for the equal-size echo, repeat
+    /// `iters` times (after `warmup` unrecorded iterations), recording each
+    /// round-trip.
+    PingPong {
+        /// Echo peer.
+        peer: HostId,
+        /// Message sizes to sweep, in order.
+        sizes: Vec<u32>,
+        /// Recorded iterations per size.
+        iters: u32,
+        /// Unrecorded warm-up iterations per size.
+        warmup: u32,
+    },
+    /// Send `count` back-to-back messages of `size` bytes to `dst`
+    /// (bandwidth/stream testing).
+    Stream {
+        /// Destination host.
+        dst: HostId,
+        /// Message size in bytes.
+        size: u32,
+        /// Number of messages.
+        count: u32,
+    },
+    /// Open-loop Poisson traffic: messages of `size` bytes to uniformly
+    /// random destinations at mean interval `mean_gap` (the loaded-network
+    /// workload of the motivation experiments).
+    Poisson {
+        /// Message size in bytes.
+        size: u32,
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+        /// Stop generating after this many messages (0 = unlimited).
+        limit: u32,
+    },
+    /// Total exchange: send one `size`-byte message to every other host,
+    /// `gap` apart — the all-to-all phase of distributed applications,
+    /// modelling the paper's stated next step ("the impact of using ITBs in
+    /// the execution time of distributed applications").
+    AllToAll {
+        /// Message size in bytes.
+        size: u32,
+        /// Spacing between successive sends from this host.
+        gap: SimDuration,
+    },
+}
+
+/// Per-host ping-pong progress.
+#[derive(Debug, Clone, Default)]
+pub struct PingPongState {
+    /// Index into `sizes`.
+    pub size_ix: usize,
+    /// Iterations completed at the current size (including warmup).
+    pub iter: u32,
+    /// Send timestamp of the in-flight ping.
+    pub sent_at: Option<itb_sim::SimTime>,
+    /// Recorded samples: (size, round-trip time).
+    pub samples: Vec<(u32, SimDuration)>,
+    /// Whether the whole sweep finished.
+    pub done: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_is_cloneable_and_serializable() {
+        let b = AppBehavior::PingPong {
+            peer: HostId(1),
+            sizes: vec![8, 64],
+            iters: 10,
+            warmup: 2,
+        };
+        let s = serde_json_compatible(&b);
+        assert!(s.contains("PingPong"));
+        let _ = b.clone();
+    }
+
+    fn serde_json_compatible(b: &AppBehavior) -> String {
+        // serde_json is not a dev-dependency here; use the Debug form as a
+        // proxy for structural integrity.
+        format!("{b:?}")
+    }
+}

@@ -1,0 +1,631 @@
+//! The integrated cluster: network + NICs + GM hosts behind one event loop.
+
+use crate::apps::{AppBehavior, PingPongState};
+use crate::config::GmConfig;
+use crate::host::{Host, RxAction};
+use crate::meta::{Kind, PacketMeta};
+use itb_net::{NetConfig, NetEvent, NetSched, Network, PacketDesc};
+use itb_nic::{McpFlavor, McpTiming, Nic, NicEvent, NicOutput, NicSched};
+use itb_routing::planner::ItbHostSelection;
+use itb_routing::{RouteTable, RoutingPolicy, SourceRoute};
+use itb_sim::{EventQueue, SimRng, SimTime, World};
+use itb_topo::{HostId, Topology, UpDown};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Wire bytes GM adds to every packet for its own protocol header.
+pub const GM_PKT_OVERHEAD: u32 = 8;
+
+/// Host-layer events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEvent {
+    /// Application generates its next message (ping-pong next iteration,
+    /// stream next message, Poisson arrival).
+    AppSend {
+        /// Acting host.
+        host: HostId,
+    },
+    /// Host CPU finished posting a packet; hand it to the NIC.
+    SubmitPacket {
+        /// Acting host.
+        host: HostId,
+        /// Pre-built packet token.
+        token: u64,
+    },
+    /// A reassembled message reaches the application.
+    AppDeliver {
+        /// Receiving host.
+        host: HostId,
+        /// Original sender.
+        from: HostId,
+        /// Message length.
+        len: u32,
+        /// Message id.
+        msg_id: u32,
+    },
+    /// Send a cumulative ACK.
+    SendAck {
+        /// Acking host.
+        host: HostId,
+        /// Peer to ack.
+        to: HostId,
+        /// Cumulative sequence.
+        seq: u32,
+    },
+    /// Periodic retransmission check for one connection.
+    RetransCheck {
+        /// Sender side.
+        host: HostId,
+        /// Peer.
+        peer: HostId,
+    },
+}
+
+/// The union event type of the whole simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum ClusterEvent {
+    /// Network-layer event.
+    Net(NetEvent),
+    /// NIC-layer event.
+    Nic(NicEvent),
+    /// Host-layer event.
+    Host(HostEvent),
+}
+
+/// Queue adapter giving each layer its scheduling trait.
+struct Sink<'a>(&'a mut EventQueue<ClusterEvent>);
+
+impl NetSched for Sink<'_> {
+    fn at(&mut self, t: SimTime, ev: NetEvent) {
+        self.0.schedule(t, ClusterEvent::Net(ev));
+    }
+}
+impl NicSched for Sink<'_> {
+    fn nic_at(&mut self, t: SimTime, ev: NicEvent) {
+        self.0.schedule(t, ClusterEvent::Nic(ev));
+    }
+}
+impl Sink<'_> {
+    fn host_at(&mut self, t: SimTime, ev: HostEvent) {
+        self.0.schedule(t, ClusterEvent::Host(ev));
+    }
+}
+
+/// One application-level message's life record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sender.
+    pub src: HostId,
+    /// Destination.
+    pub dst: HostId,
+    /// Length in bytes.
+    pub len: u32,
+    /// Application send time.
+    pub sent_at: SimTime,
+    /// Application delivery time (None while in flight / lost).
+    pub delivered_at: Option<SimTime>,
+}
+
+/// Everything needed to build a [`Cluster`].
+pub struct ClusterParams {
+    /// Wiring.
+    pub topo: Topology,
+    /// Physical-layer constants.
+    pub net: NetConfig,
+    /// NIC firmware constants.
+    pub mcp: McpTiming,
+    /// Firmware flavour on every NIC.
+    pub flavor: McpFlavor,
+    /// Route computation policy.
+    pub routing: RoutingPolicy,
+    /// In-transit host selection used by the ITB planner.
+    pub itb_selection: ItbHostSelection,
+    /// Host-software constants.
+    pub gm: GmConfig,
+    /// Per-host application behaviours (length = host count).
+    pub behaviors: Vec<AppBehavior>,
+    /// Hand-built routes to install over the computed table (the Figure 6
+    /// evaluation paths).
+    pub route_overrides: Vec<SourceRoute>,
+    /// Master seed for traffic randomness.
+    pub seed: u64,
+}
+
+/// The complete simulated Myrinet cluster.
+pub struct Cluster {
+    /// The wormhole network.
+    pub net: Network,
+    nics: Vec<Nic>,
+    hosts: Vec<Host>,
+    behaviors: Vec<AppBehavior>,
+    ping: Vec<PingPongState>,
+    stream_sent: Vec<u32>,
+    poisson_sent: Vec<u32>,
+    a2a_sent: Vec<u32>,
+    rngs: Vec<SimRng>,
+    messages: HashMap<u32, MsgRecord>,
+    next_msg_id: u32,
+    next_token: u64,
+    pending_submissions: HashMap<u64, PacketDesc>,
+    gm: GmConfig,
+}
+
+impl Cluster {
+    /// Build a cluster. Panics on inconsistent parameters (ITB routing on
+    /// original firmware cannot work: the stock MCP drops ITB packets).
+    pub fn new(p: ClusterParams) -> Self {
+        assert!(
+            !(p.routing == RoutingPolicy::Itb && p.flavor == McpFlavor::Original),
+            "ITB routes require the ITB-enabled MCP"
+        );
+        assert_eq!(
+            p.behaviors.len(),
+            p.topo.num_hosts(),
+            "one behavior per host"
+        );
+        p.topo.validate().expect("topology must be valid");
+        let ud = UpDown::compute_default(&p.topo);
+        let mut table =
+            RouteTable::compute_with_selection(&p.topo, &ud, p.routing, p.itb_selection)
+                .expect("connected topology routes");
+        for r in p.route_overrides {
+            assert!(
+                r.is_well_formed(&p.topo),
+                "route override must be physically wired"
+            );
+            assert!(
+                r.itb_count() == 0 || p.flavor == McpFlavor::Itb,
+                "ITB route override requires ITB firmware"
+            );
+            table.set_route(r);
+        }
+        let table = Arc::new(table);
+        let n = p.topo.num_hosts();
+        let nics = (0..n as u16)
+            .map(|h| Nic::new(HostId(h), p.flavor, p.mcp))
+            .collect();
+        let hosts = (0..n as u16)
+            .map(|h| Host::new(HostId(h), p.gm, Arc::clone(&table), n))
+            .collect();
+        let master = SimRng::new(p.seed);
+        let rngs = (0..n as u64).map(|h| master.child(h)).collect();
+        Cluster {
+            net: Network::new(p.topo, p.net),
+            nics,
+            hosts,
+            ping: vec![PingPongState::default(); n],
+            stream_sent: vec![0; n],
+            poisson_sent: vec![0; n],
+            a2a_sent: vec![0; n],
+            rngs,
+            behaviors: p.behaviors,
+            messages: HashMap::new(),
+            next_msg_id: 0,
+            next_token: 0,
+            pending_submissions: HashMap::new(),
+            gm: p.gm,
+        }
+    }
+
+    /// Kick off every host's application.
+    pub fn start(&mut self, q: &mut EventQueue<ClusterEvent>) {
+        for h in 0..self.behaviors.len() {
+            let host = HostId(h as u16);
+            match &self.behaviors[h] {
+                AppBehavior::Sink | AppBehavior::Echo => {}
+                AppBehavior::PingPong { .. }
+                | AppBehavior::Stream { .. }
+                | AppBehavior::AllToAll { .. } => {
+                    q.schedule(SimTime::ZERO, ClusterEvent::Host(HostEvent::AppSend { host }));
+                }
+                AppBehavior::Poisson { mean_gap, .. } => {
+                    let gap = self.rngs[h].exp(mean_gap.as_ns_f64());
+                    q.schedule(
+                        SimTime::from_ps((gap * 1e3) as u64),
+                        ClusterEvent::Host(HostEvent::AppSend { host }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-message records, keyed by message id.
+    pub fn messages(&self) -> &HashMap<u32, MsgRecord> {
+        &self.messages
+    }
+
+    /// Ping-pong progress of a host.
+    pub fn ping_state(&self, host: HostId) -> &PingPongState {
+        &self.ping[host.idx()]
+    }
+
+    /// Whether every ping-pong initiator has finished its sweep.
+    pub fn all_pingpongs_done(&self) -> bool {
+        self.behaviors
+            .iter()
+            .zip(&self.ping)
+            .all(|(b, s)| !matches!(b, AppBehavior::PingPong { .. }) || s.done)
+    }
+
+    /// NIC of a host (for stats inspection).
+    pub fn nic(&self, host: HostId) -> &Nic {
+        &self.nics[host.idx()]
+    }
+
+    /// GM state of a host (for stats inspection).
+    pub fn host(&self, host: HostId) -> &Host {
+        &self.hosts[host.idx()]
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered_count(&self) -> usize {
+        self.messages
+            .values()
+            .filter(|m| m.delivered_at.is_some())
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Application-level send: segment, record, and schedule packet
+    /// submissions after host processing costs. Returns the message id.
+    pub fn send_message(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        len: u32,
+        now: SimTime,
+        q: &mut EventQueue<ClusterEvent>,
+    ) -> u32 {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.messages.insert(
+            msg_id,
+            MsgRecord {
+                src,
+                dst,
+                len,
+                sent_at: now,
+                delivered_at: None,
+            },
+        );
+        self.hosts[src.idx()].segment_message(dst, len, msg_id);
+        self.pump_conn(src, dst, now, true, q);
+        msg_id
+    }
+
+    /// Release window-permitted packets of the `(src, dst)` connection to
+    /// the NIC, spaced by the per-packet host cost, and keep the
+    /// retransmission timer armed while anything is outstanding.
+    fn pump_conn(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        now: SimTime,
+        fresh_send: bool,
+        q: &mut EventQueue<ClusterEvent>,
+    ) {
+        let released = self.hosts[src.idx()].pump_window(dst, now);
+        if released.is_empty() {
+            return;
+        }
+        let header = self.hosts[src.idx()].header_for(dst);
+        // A fresh application send pays the library-call cost; ACK-driven
+        // window refills only pay the per-packet posting cost (the library
+        // call already happened).
+        let base = if fresh_send {
+            self.gm.o_send
+        } else {
+            self.gm.o_send_per_packet
+        };
+        for (i, pkt) in released.into_iter().enumerate() {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending_submissions.insert(
+                token,
+                PacketDesc {
+                    header: header.clone(),
+                    payload_len: pkt.payload_len + GM_PKT_OVERHEAD,
+                    tag: pkt.tag,
+                    src,
+                },
+            );
+            let at = now + base + self.gm.o_send_per_packet * (i as u64);
+            q.schedule(
+                at,
+                ClusterEvent::Host(HostEvent::SubmitPacket { host: src, token }),
+            );
+        }
+        // Arm the retransmission timer for this connection.
+        if self.gm.reliability && !self.hosts[src.idx()].tx[dst.idx()].timer_armed {
+            self.hosts[src.idx()].tx[dst.idx()].timer_armed = true;
+            q.schedule(
+                now + self.gm.retrans_timeout,
+                ClusterEvent::Host(HostEvent::RetransCheck {
+                    host: src,
+                    peer: dst,
+                }),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Route indications and outputs after any net/nic activity.
+    fn pump(&mut self, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        loop {
+            let inds = self.net.take_indications();
+            if inds.is_empty() {
+                break;
+            }
+            for ind in inds {
+                let host = match ind {
+                    itb_net::HostIndication::HeadArrived { host, .. }
+                    | itb_net::HostIndication::BytesArrived { host, .. }
+                    | itb_net::HostIndication::PacketComplete { host, .. }
+                    | itb_net::HostIndication::InjectionComplete { host, .. } => host,
+                };
+                let mut sink = Sink(q);
+                self.nics[host.idx()].on_indication(ind, now, &mut self.net, &mut sink);
+            }
+        }
+        // Collect NIC outputs into the GM layer.
+        let mut outs = Vec::new();
+        for nic in &mut self.nics {
+            outs.extend(nic.take_outputs());
+        }
+        for out in outs {
+            self.on_nic_output(out, now, q);
+        }
+    }
+
+    fn on_nic_output(&mut self, out: NicOutput, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        match out {
+            NicOutput::SendComplete { .. } => {
+                // Send tokens recycle silently; app flow control is modelled
+                // by the drivers' request-response structure.
+            }
+            NicOutput::Flushed { .. } => {
+                // Lost packet: the reliability layer will retransmit.
+            }
+            NicOutput::RecvComplete { host, desc, .. } => {
+                let meta = PacketMeta::decode(desc.tag);
+                let from = desc.src;
+                match meta.kind {
+                    Kind::Ack => {
+                        self.hosts[host.idx()].on_ack(from, meta.seq);
+                        // Acks open the send window: release queued packets.
+                        self.pump_conn(host, from, now, false, q);
+                    }
+                    Kind::Data => {
+                        let payload = desc.payload_len - GM_PKT_OVERHEAD;
+                        let action = self.hosts[host.idx()].on_data(from, payload, meta);
+                        let ack = match &action {
+                            RxAction::Accepted { ack }
+                            | RxAction::Duplicate { ack }
+                            | RxAction::Delivered { ack, .. } => Some(*ack),
+                            RxAction::Dropped => None,
+                        };
+                        if self.gm.reliability {
+                            if let Some(seq) = ack {
+                                let mut sink = Sink(q);
+                                sink.host_at(
+                                    now + self.gm.o_ack,
+                                    HostEvent::SendAck {
+                                        host,
+                                        to: from,
+                                        seq,
+                                    },
+                                );
+                            }
+                        }
+                        if let RxAction::Delivered { len, msg_id, .. } = action {
+                            let mut sink = Sink(q);
+                            sink.host_at(
+                                now + self.gm.o_recv,
+                                HostEvent::AppDeliver {
+                                    host,
+                                    from,
+                                    len,
+                                    msg_id,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_host_event(&mut self, ev: HostEvent, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        match ev {
+            HostEvent::SubmitPacket { host, token } => {
+                if let Some(desc) = self.pending_submissions.remove(&token) {
+                    let mut sink = Sink(q);
+                    self.nics[host.idx()].submit_send(token, desc, now, &mut self.net, &mut sink);
+                }
+            }
+            HostEvent::SendAck { host, to, seq } => {
+                let token = self.next_token;
+                self.next_token += 1;
+                let desc = PacketDesc {
+                    header: self.hosts[host.idx()].header_for(to),
+                    payload_len: GM_PKT_OVERHEAD,
+                    tag: PacketMeta::ack(seq).encode(),
+                    src: host,
+                };
+                let mut sink = Sink(q);
+                self.nics[host.idx()].submit_send(token, desc, now, &mut self.net, &mut sink);
+            }
+            HostEvent::AppSend { host } => self.on_app_send(host, now, q),
+            HostEvent::AppDeliver {
+                host,
+                from,
+                len,
+                msg_id,
+            } => self.on_app_deliver(host, from, len, msg_id, now, q),
+            HostEvent::RetransCheck { host, peer } => {
+                let due = self.hosts[host.idx()].due_retransmissions(peer, now);
+                for pkt in due {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let desc = PacketDesc {
+                        header: self.hosts[host.idx()].header_for(pkt.dst),
+                        payload_len: pkt.payload_len + GM_PKT_OVERHEAD,
+                        tag: pkt.tag,
+                        src: host,
+                    };
+                    self.pending_submissions.insert(token, desc);
+                    q.schedule(
+                        now + self.gm.o_send_per_packet,
+                        ClusterEvent::Host(HostEvent::SubmitPacket { host, token }),
+                    );
+                }
+                if self.hosts[host.idx()].has_unacked(peer) {
+                    q.schedule(
+                        now + self.gm.retrans_timeout,
+                        ClusterEvent::Host(HostEvent::RetransCheck { host, peer }),
+                    );
+                } else {
+                    self.hosts[host.idx()].tx[peer.idx()].timer_armed = false;
+                }
+            }
+        }
+    }
+
+    fn on_app_send(&mut self, host: HostId, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        match self.behaviors[host.idx()].clone() {
+            AppBehavior::PingPong { peer, sizes, .. } => {
+                let st = &mut self.ping[host.idx()];
+                if st.done || st.size_ix >= sizes.len() {
+                    st.done = true;
+                    return;
+                }
+                let size = sizes[st.size_ix];
+                st.sent_at = Some(now);
+                self.send_message(host, peer, size, now, q);
+            }
+            AppBehavior::Stream { dst, size, count } => {
+                if self.stream_sent[host.idx()] >= count {
+                    return;
+                }
+                self.stream_sent[host.idx()] += 1;
+                self.send_message(host, dst, size, now, q);
+                // Next message immediately (back-to-back; NIC queues pace it).
+                if self.stream_sent[host.idx()] < count {
+                    q.schedule(now, ClusterEvent::Host(HostEvent::AppSend { host }));
+                }
+            }
+            AppBehavior::Poisson {
+                size,
+                mean_gap,
+                limit,
+            } => {
+                if limit > 0 && self.poisson_sent[host.idx()] >= limit {
+                    return;
+                }
+                self.poisson_sent[host.idx()] += 1;
+                // Uniform random destination other than self.
+                let n = self.hosts.len() as u64;
+                let mut dst = self.rngs[host.idx()].below(n - 1) as u16;
+                if dst >= host.0 {
+                    dst += 1;
+                }
+                self.send_message(host, HostId(dst), size, now, q);
+                let gap = self.rngs[host.idx()].exp(mean_gap.as_ns_f64());
+                q.schedule(
+                    now + itb_sim::SimDuration::from_ps((gap * 1e3) as u64),
+                    ClusterEvent::Host(HostEvent::AppSend { host }),
+                );
+            }
+            AppBehavior::AllToAll { size, gap } => {
+                let n = self.hosts.len() as u32;
+                let k = self.a2a_sent[host.idx()];
+                if k >= n - 1 {
+                    return;
+                }
+                self.a2a_sent[host.idx()] += 1;
+                // Destination order: host+1, host+2, ... (mod n), skipping
+                // self — every host starts its exchange at a different peer,
+                // the standard skew for total exchanges.
+                let dst = HostId(((u32::from(host.0) + 1 + k) % n) as u16);
+                self.send_message(host, dst, size, now, q);
+                if self.a2a_sent[host.idx()] < n - 1 {
+                    q.schedule(now + gap, ClusterEvent::Host(HostEvent::AppSend { host }));
+                }
+            }
+            AppBehavior::Sink | AppBehavior::Echo => {}
+        }
+    }
+
+    fn on_app_deliver(
+        &mut self,
+        host: HostId,
+        from: HostId,
+        len: u32,
+        msg_id: u32,
+        now: SimTime,
+        q: &mut EventQueue<ClusterEvent>,
+    ) {
+        if let Some(rec) = self.messages.get_mut(&msg_id) {
+            debug_assert_eq!(rec.dst, host, "message delivered to its destination");
+            debug_assert_eq!(rec.len, len, "reassembled length matches");
+            rec.delivered_at = Some(now);
+        }
+        match self.behaviors[host.idx()].clone() {
+            AppBehavior::Echo => {
+                self.send_message(host, from, len, now, q);
+            }
+            AppBehavior::PingPong {
+                sizes,
+                iters,
+                warmup,
+                ..
+            } => {
+                let st = &mut self.ping[host.idx()];
+                let sent = st.sent_at.take().expect("pong matches an in-flight ping");
+                let rtt = now - sent;
+                if st.iter >= warmup {
+                    st.samples.push((sizes[st.size_ix], rtt));
+                }
+                st.iter += 1;
+                if st.iter >= warmup + iters {
+                    st.iter = 0;
+                    st.size_ix += 1;
+                    if st.size_ix >= sizes.len() {
+                        st.done = true;
+                        return;
+                    }
+                }
+                q.schedule(now, ClusterEvent::Host(HostEvent::AppSend { host }));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl World for Cluster {
+    type Event = ClusterEvent;
+
+    fn handle(&mut self, now: SimTime, ev: ClusterEvent, q: &mut EventQueue<ClusterEvent>) {
+        match ev {
+            ClusterEvent::Net(e) => {
+                let mut sink = Sink(q);
+                self.net.handle(now, e, &mut sink);
+            }
+            ClusterEvent::Nic(e) => {
+                let host = match e {
+                    NicEvent::Cpu { host, .. } | NicEvent::Dma { host, .. } => host,
+                };
+                let mut sink = Sink(q);
+                self.nics[host.idx()].handle(now, e, &mut self.net, &mut sink);
+            }
+            ClusterEvent::Host(e) => self.on_host_event(e, now, q),
+        }
+        self.pump(now, q);
+    }
+}

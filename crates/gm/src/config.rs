@@ -1,0 +1,80 @@
+//! Host-side GM configuration.
+
+use itb_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Host-software timing and protocol constants.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GmConfig {
+    /// Maximum payload bytes per packet (GM segments longer messages).
+    pub mtu: u32,
+    /// Host CPU cost of posting a send (library call, token, doorbell).
+    pub o_send: SimDuration,
+    /// Extra host cost per additional packet of a multi-packet message.
+    pub o_send_per_packet: SimDuration,
+    /// Host CPU cost from NIC completion to the application seeing the
+    /// message.
+    pub o_recv: SimDuration,
+    /// Cost of generating an ACK packet at the receiver.
+    pub o_ack: SimDuration,
+    /// Whether the reliability layer runs (per-packet cumulative ACKs,
+    /// go-back-N retransmission). The paper's GM always has it; turning it
+    /// off gives a clean transport for microbenchmarks.
+    pub reliability: bool,
+    /// Retransmission timeout for the oldest unacknowledged packet.
+    pub retrans_timeout: SimDuration,
+    /// Maximum packets in flight (unacknowledged) per connection — GM's
+    /// send-token flow control. Only meaningful with reliability on.
+    pub send_window: u32,
+}
+
+impl Default for GmConfig {
+    /// Calibrated against GM-1.2-era latencies on a 450 MHz PIII (short
+    /// message half-round-trip ≈ 12–14 µs; see EXPERIMENTS.md).
+    fn default() -> Self {
+        GmConfig {
+            mtu: 4096,
+            o_send: SimDuration::from_ns(3_000),
+            o_send_per_packet: SimDuration::from_ns(400),
+            o_recv: SimDuration::from_ns(3_000),
+            o_ack: SimDuration::from_ns(400),
+            reliability: true,
+            retrans_timeout: SimDuration::from_ms(1),
+            send_window: 8,
+        }
+    }
+}
+
+impl GmConfig {
+    /// Number of packets a message of `len` bytes needs.
+    pub fn packets_for(&self, len: u32) -> u32 {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.mtu)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmentation_counts() {
+        let c = GmConfig::default();
+        assert_eq!(c.packets_for(0), 1);
+        assert_eq!(c.packets_for(1), 1);
+        assert_eq!(c.packets_for(4096), 1);
+        assert_eq!(c.packets_for(4097), 2);
+        assert_eq!(c.packets_for(12_288), 3);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GmConfig::default();
+        assert!(c.reliability);
+        assert!(c.retrans_timeout > c.o_send);
+        assert!(c.mtu >= 512);
+    }
+}

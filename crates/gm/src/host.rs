@@ -1,0 +1,438 @@
+//! Per-host GM state: connections, segmentation, reliability.
+
+use crate::config::GmConfig;
+use crate::meta::{Kind, PacketMeta};
+use itb_routing::wire::Header;
+use itb_routing::RouteTable;
+use itb_sim::SimTime;
+use itb_topo::HostId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A packet the sender must be able to retransmit.
+#[derive(Debug, Clone)]
+pub struct StoredPacket {
+    /// Destination host.
+    pub dst: HostId,
+    /// Payload bytes.
+    pub payload_len: u32,
+    /// Encoded metadata tag.
+    pub tag: u64,
+    /// Time of the most recent (re)transmission.
+    pub sent_at: SimTime,
+}
+
+/// A segmented packet waiting for the send window to open.
+#[derive(Debug, Clone)]
+pub struct QueuedPacket {
+    /// Destination host.
+    pub dst: HostId,
+    /// Payload bytes.
+    pub payload_len: u32,
+    /// Encoded metadata tag.
+    pub tag: u64,
+}
+
+/// Sender half of a connection to one peer.
+#[derive(Debug, Default)]
+pub struct ConnTx {
+    /// Next sequence number to assign.
+    pub next_seq: u32,
+    /// Segmented packets not yet released to the NIC (window closed).
+    pub send_queue: std::collections::VecDeque<QueuedPacket>,
+    /// Unacknowledged packets by sequence number (only packets actually
+    /// handed to the NIC — GM's send tokens bound this to the window).
+    pub unacked: BTreeMap<u32, StoredPacket>,
+    /// Whether a retransmission check is scheduled.
+    pub timer_armed: bool,
+    /// Retransmissions performed (diagnostic).
+    pub retransmissions: u64,
+}
+
+/// Receiver half of a connection from one peer.
+#[derive(Debug, Default)]
+pub struct ConnRx {
+    /// Next expected sequence number.
+    pub expected: u32,
+    /// Bytes accumulated for the in-progress message.
+    pub partial_bytes: u32,
+    /// Duplicates discarded (diagnostic).
+    pub duplicates: u64,
+}
+
+/// What the receiver does with an incoming DATA packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RxAction {
+    /// In-order segment, message still incomplete. `ack` is the cumulative
+    /// sequence to acknowledge.
+    Accepted {
+        /// Cumulative ACK value.
+        ack: u32,
+    },
+    /// In-order segment completing a message of `len` bytes.
+    Delivered {
+        /// Cumulative ACK value.
+        ack: u32,
+        /// Reassembled message length.
+        len: u32,
+        /// Message id from the final segment.
+        msg_id: u32,
+    },
+    /// Duplicate (already received): re-ACK so the sender can advance.
+    Duplicate {
+        /// Cumulative ACK value.
+        ack: u32,
+    },
+    /// Out of order (a gap exists): dropped, go-back-N will resend.
+    Dropped,
+}
+
+/// GM state of one host.
+pub struct Host {
+    /// This host's id.
+    pub id: HostId,
+    /// Configuration (shared cluster-wide).
+    pub cfg: GmConfig,
+    /// The mapper-installed route table.
+    pub routes: Arc<RouteTable>,
+    /// Per-peer sender state (indexed by peer host).
+    pub tx: Vec<ConnTx>,
+    /// Per-peer receiver state.
+    pub rx: Vec<ConnRx>,
+}
+
+impl Host {
+    /// Fresh host state for a cluster of `n` hosts.
+    pub fn new(id: HostId, cfg: GmConfig, routes: Arc<RouteTable>, n: usize) -> Self {
+        Host {
+            id,
+            cfg,
+            routes,
+            tx: (0..n).map(|_| ConnTx::default()).collect(),
+            rx: (0..n).map(|_| ConnRx::default()).collect(),
+        }
+    }
+
+    /// Encode the wire header for a packet to `dst`.
+    pub fn header_for(&self, dst: HostId) -> Header {
+        let route = self
+            .routes
+            .route(self.id, dst)
+            .expect("route table covers all pairs");
+        Header::encode(route)
+    }
+
+    /// Segment a message into packets and queue them on the connection's
+    /// send queue. Call [`Host::pump_window`] to release packets to the NIC
+    /// as the send window allows.
+    pub fn segment_message(&mut self, dst: HostId, len: u32, msg_id: u32) {
+        let n = self.cfg.packets_for(len);
+        let conn = &mut self.tx[dst.idx()];
+        let mut remaining = len;
+        for i in 0..n {
+            let payload = if n == 1 {
+                len
+            } else if i == n - 1 {
+                remaining
+            } else {
+                self.cfg.mtu
+            };
+            remaining -= payload;
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let meta = PacketMeta::data(msg_id, seq, i == n - 1);
+            conn.send_queue.push_back(QueuedPacket {
+                dst,
+                payload_len: payload,
+                tag: meta.encode(),
+            });
+        }
+    }
+
+    /// Release queued packets to the NIC while the send window has room
+    /// (GM's send-token flow control). Released packets are registered as
+    /// unacknowledged with `sent_at = now`, so the retransmission timer
+    /// measures actual network time, never queueing time. With reliability
+    /// off the window is unbounded.
+    pub fn pump_window(&mut self, dst: HostId, now: SimTime) -> Vec<QueuedPacket> {
+        let window = if self.cfg.reliability {
+            self.cfg.send_window as usize
+        } else {
+            usize::MAX
+        };
+        let reliability = self.cfg.reliability;
+        let conn = &mut self.tx[dst.idx()];
+        let mut out = Vec::new();
+        while conn.unacked.len() < window {
+            let Some(pkt) = conn.send_queue.pop_front() else {
+                break;
+            };
+            if reliability {
+                let meta = PacketMeta::decode(pkt.tag);
+                conn.unacked.insert(
+                    meta.seq,
+                    StoredPacket {
+                        dst: pkt.dst,
+                        payload_len: pkt.payload_len,
+                        tag: pkt.tag,
+                        sent_at: now,
+                    },
+                );
+            }
+            out.push(pkt);
+        }
+        out
+    }
+
+    /// Process an incoming DATA packet from `from`.
+    pub fn on_data(&mut self, from: HostId, payload_len: u32, meta: PacketMeta) -> RxAction {
+        debug_assert_eq!(meta.kind, Kind::Data);
+        let conn = &mut self.rx[from.idx()];
+        if meta.seq < conn.expected {
+            conn.duplicates += 1;
+            return RxAction::Duplicate {
+                ack: conn.expected.wrapping_sub(1),
+            };
+        }
+        if meta.seq > conn.expected {
+            return RxAction::Dropped;
+        }
+        conn.expected += 1;
+        conn.partial_bytes += payload_len;
+        let ack = meta.seq;
+        if meta.last_in_msg {
+            let len = conn.partial_bytes;
+            conn.partial_bytes = 0;
+            RxAction::Delivered {
+                ack,
+                len,
+                msg_id: meta.msg_id,
+            }
+        } else {
+            RxAction::Accepted { ack }
+        }
+    }
+
+    /// Process a cumulative ACK from `from`: drop all covered packets.
+    pub fn on_ack(&mut self, from: HostId, acked_seq: u32) {
+        let conn = &mut self.tx[from.idx()];
+        // BTreeMap: remove all keys <= acked_seq.
+        let keep = conn.unacked.split_off(&(acked_seq + 1));
+        conn.unacked = keep;
+    }
+
+    /// Packets to retransmit: everything unacked whose last transmission is
+    /// older than the timeout. Updates their `sent_at`.
+    pub fn due_retransmissions(&mut self, peer: HostId, now: SimTime) -> Vec<StoredPacket> {
+        let timeout = self.cfg.retrans_timeout;
+        let conn = &mut self.tx[peer.idx()];
+        let oldest_due = conn
+            .unacked
+            .values()
+            .next()
+            .map(|p| now.saturating_since(p.sent_at) >= timeout)
+            .unwrap_or(false);
+        if !oldest_due {
+            return Vec::new();
+        }
+        // Go-back-N: resend the whole window in order.
+        conn.retransmissions += conn.unacked.len() as u64;
+        conn.unacked
+            .values_mut()
+            .map(|p| {
+                p.sent_at = now;
+                p.clone()
+            })
+            .collect()
+    }
+
+    /// Whether any packet to `peer` awaits acknowledgement.
+    pub fn has_unacked(&self, peer: HostId) -> bool {
+        !self.tx[peer.idx()].unacked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itb_routing::RoutingPolicy;
+    use itb_topo::builders::chain;
+    use itb_topo::UpDown;
+
+    fn mk_host(id: u16) -> Host {
+        let topo = chain(2, 1);
+        let ud = UpDown::compute_default(&topo);
+        let routes = Arc::new(RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap());
+        Host::new(HostId(id), GmConfig::default(), routes, 2)
+    }
+
+    /// Segment and immediately pump everything the window allows.
+    fn seg_pump(h: &mut Host, dst: HostId, len: u32, msg: u32) -> Vec<QueuedPacket> {
+        h.segment_message(dst, len, msg);
+        h.pump_window(dst, SimTime::ZERO)
+    }
+
+    #[test]
+    fn single_packet_message() {
+        let mut h = mk_host(0);
+        let pkts = seg_pump(&mut h, HostId(1), 100, 1);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload_len, 100);
+        assert!(PacketMeta::decode(pkts[0].tag).last_in_msg);
+        assert!(h.has_unacked(HostId(1)));
+    }
+
+    #[test]
+    fn multi_packet_segmentation() {
+        let mut h = mk_host(0);
+        let pkts = seg_pump(&mut h, HostId(1), 4096 * 2 + 100, 2);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].payload_len, 4096);
+        assert_eq!(pkts[1].payload_len, 4096);
+        assert_eq!(pkts[2].payload_len, 100);
+        let metas: Vec<_> = pkts.iter().map(|p| PacketMeta::decode(p.tag)).collect();
+        assert!(!metas[0].last_in_msg);
+        assert!(metas[2].last_in_msg);
+        // Sequence numbers are consecutive.
+        assert_eq!(metas[1].seq, metas[0].seq + 1);
+        assert_eq!(metas[2].seq, metas[1].seq + 1);
+    }
+
+    #[test]
+    fn window_limits_outstanding_packets() {
+        let mut h = mk_host(0);
+        // 12 packets queued; default window is 8.
+        h.segment_message(HostId(1), 4096 * 12, 9);
+        let first = h.pump_window(HostId(1), SimTime::ZERO);
+        assert_eq!(first.len(), 8);
+        assert_eq!(h.tx[1].unacked.len(), 8);
+        assert_eq!(h.tx[1].send_queue.len(), 4);
+        // Nothing more until acks arrive.
+        assert!(h.pump_window(HostId(1), SimTime::ZERO).is_empty());
+        // Ack 3 packets -> 3 more released.
+        h.on_ack(HostId(1), 2);
+        let more = h.pump_window(HostId(1), SimTime::from_us(50));
+        assert_eq!(more.len(), 3);
+        assert_eq!(h.tx[1].unacked.len(), 8);
+        assert_eq!(h.tx[1].send_queue.len(), 1);
+    }
+
+    #[test]
+    fn sent_at_stamped_at_release_not_segmentation() {
+        let mut h = mk_host(0);
+        h.segment_message(HostId(1), 4096 * 12, 1);
+        h.pump_window(HostId(1), SimTime::ZERO);
+        h.on_ack(HostId(1), 7); // clear the first window
+        let released_at = SimTime::from_us(900);
+        h.pump_window(HostId(1), released_at);
+        // Packets released late are NOT due at the 1 ms mark measured from
+        // segmentation time.
+        assert!(h
+            .due_retransmissions(HostId(1), SimTime::from_ms(1))
+            .is_empty());
+        assert_eq!(
+            h.due_retransmissions(HostId(1), released_at + GmConfig::default().retrans_timeout)
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn in_order_reassembly_delivers() {
+        let mut sender = mk_host(0);
+        let mut receiver = mk_host(1);
+        let pkts = seg_pump(&mut sender, HostId(1), 5000, 7);
+        let m0 = PacketMeta::decode(pkts[0].tag);
+        let m1 = PacketMeta::decode(pkts[1].tag);
+        let a0 = receiver.on_data(HostId(0), pkts[0].payload_len, m0);
+        assert_eq!(a0, RxAction::Accepted { ack: 0 });
+        let a1 = receiver.on_data(HostId(0), pkts[1].payload_len, m1);
+        assert_eq!(
+            a1,
+            RxAction::Delivered {
+                ack: 1,
+                len: 5000,
+                msg_id: 7
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_order_dropped_duplicate_reacked() {
+        let mut receiver = mk_host(1);
+        let m0 = PacketMeta::data(1, 0, true);
+        let m1 = PacketMeta::data(2, 1, true);
+        let m2 = PacketMeta::data(3, 2, true);
+        // Gap: seq 1 before seq 0.
+        assert_eq!(receiver.on_data(HostId(0), 10, m1), RxAction::Dropped);
+        assert!(matches!(
+            receiver.on_data(HostId(0), 10, m0),
+            RxAction::Delivered { ack: 0, .. }
+        ));
+        // Duplicate of seq 0.
+        assert_eq!(
+            receiver.on_data(HostId(0), 10, m0),
+            RxAction::Duplicate { ack: 0 }
+        );
+        // Now in-order continues.
+        assert!(matches!(
+            receiver.on_data(HostId(0), 10, m1),
+            RxAction::Delivered { ack: 1, .. }
+        ));
+        assert!(matches!(
+            receiver.on_data(HostId(0), 10, m2),
+            RxAction::Delivered { ack: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn cumulative_ack_clears_window() {
+        let mut h = mk_host(0);
+        seg_pump(&mut h, HostId(1), 4096 * 3, 1); // seqs 0,1,2
+        assert_eq!(h.tx[1].unacked.len(), 3);
+        h.on_ack(HostId(1), 1);
+        assert_eq!(h.tx[1].unacked.len(), 1);
+        h.on_ack(HostId(1), 2);
+        assert!(!h.has_unacked(HostId(1)));
+    }
+
+    #[test]
+    fn retransmission_due_after_timeout() {
+        let mut h = mk_host(0);
+        seg_pump(&mut h, HostId(1), 8192, 1); // seqs 0,1
+        assert!(h
+            .due_retransmissions(HostId(1), SimTime::from_us(10))
+            .is_empty());
+        let due = h.due_retransmissions(HostId(1), SimTime::from_ms(2));
+        assert_eq!(due.len(), 2, "go-back-N resends the whole window");
+        assert_eq!(h.tx[1].retransmissions, 2);
+        // Freshly stamped: not due again immediately.
+        assert!(h
+            .due_retransmissions(HostId(1), SimTime::from_ms(2))
+            .is_empty());
+    }
+
+    #[test]
+    fn reliability_off_tracks_nothing_and_pumps_everything() {
+        let topo = chain(2, 1);
+        let ud = UpDown::compute_default(&topo);
+        let routes = Arc::new(RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap());
+        let cfg = GmConfig {
+            reliability: false,
+            ..GmConfig::default()
+        };
+        let mut h = Host::new(HostId(0), cfg, routes, 2);
+        h.segment_message(HostId(1), 4096 * 20, 1);
+        let pkts = h.pump_window(HostId(1), SimTime::ZERO);
+        assert_eq!(pkts.len(), 20, "no window without reliability");
+        assert!(!h.has_unacked(HostId(1)));
+    }
+
+    #[test]
+    fn header_for_uses_route_table() {
+        let h = mk_host(0);
+        let hd = h.header_for(HostId(1));
+        // chain(2,1): 2 crossings -> 2 route bytes + 2 type bytes.
+        assert_eq!(hd.len(), 4);
+    }
+}

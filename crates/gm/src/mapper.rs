@@ -1,0 +1,460 @@
+//! The GM network mapper.
+//!
+//! GM includes "a network mapping program": at boot, one host explores the
+//! fabric with probe packets, reconstructs the topology and computes the
+//! route tables every NIC gets (§3). The paper modifies exactly this
+//! component — "the Myrinet mapper has to be modified to calculate paths
+//! with the proposed mechanism" (§4) — which in this reproduction is the
+//! choice between [`RoutingPolicy::UpDown`] and [`RoutingPolicy::Itb`] when
+//! the reconstructed map is handed to the route computation.
+//!
+//! Discovery works breadth-first over source-route prefixes through the
+//! [`ProbeTransport`] primitive. A probe routed to a host is answered with
+//! the host's identity (GM mapping replies travel back over the reversed
+//! route); a probe ending inside a switch yields that switch's canonical
+//! identity. *Modelling note:* the real scout protocol derives canonical
+//! switch identities through a marking subprotocol; we expose the identity
+//! directly in [`ProbeOutcome::Switch`] — the discovery structure (what can
+//! be learned from which probe) is preserved while the identification
+//! subproblem, which the paper does not touch, is elided. Reconstruction
+//! marks every port SAN: port kinds affect only latency calibration, never
+//! route validity, and the mapper has no way to sense cable flavour.
+
+use itb_routing::{RouteTable, RoutingPolicy};
+use itb_sim::SimDuration;
+use itb_topo::{HostId, Node, PortIx, PortKind, Topology, UpDown};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What a probe along a route prefix finds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe reached a host NIC, which answered with its identity.
+    Host {
+        /// The responding host.
+        id: HostId,
+    },
+    /// The probe ended inside a switch (no more route bytes).
+    Switch {
+        /// Canonical switch identity (see module docs).
+        serial: u64,
+    },
+    /// The probe died: unwired port or out-of-range port number.
+    Dead,
+}
+
+/// The mapper's only window onto the fabric.
+pub trait ProbeTransport {
+    /// Send a probe from the mapping host along `route` (output port taken
+    /// at each successive switch) and report where it ended up.
+    fn probe(&mut self, route: &[PortIx]) -> ProbeOutcome;
+
+    /// Upper bound on ports per switch the mapper should scan.
+    fn max_ports(&self) -> u8;
+}
+
+/// A [`ProbeTransport`] backed by a real [`Topology`] — models the physical
+/// fabric answering mapping packets. Counts probes for cost reporting.
+pub struct FabricProbe<'t> {
+    topo: &'t Topology,
+    mapper_host: HostId,
+    probes_sent: u64,
+}
+
+impl<'t> FabricProbe<'t> {
+    /// Probe interface rooted at `mapper_host`.
+    pub fn new(topo: &'t Topology, mapper_host: HostId) -> Self {
+        FabricProbe {
+            topo,
+            mapper_host,
+            probes_sent: 0,
+        }
+    }
+
+    /// Number of probe packets sent so far.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+}
+
+impl ProbeTransport for FabricProbe<'_> {
+    fn probe(&mut self, route: &[PortIx]) -> ProbeOutcome {
+        self.probes_sent += 1;
+        let (mut sw, _) = self.topo.host_attachment(self.mapper_host);
+        for (i, &port) in route.iter().enumerate() {
+            if port.idx() >= self.topo.switch_port_count(sw) {
+                return ProbeOutcome::Dead;
+            }
+            let Some(link) = self.topo.link_at(sw, port) else {
+                return ProbeOutcome::Dead;
+            };
+            let l = self.topo.link(link);
+            // The far end is the endpoint that is not (sw, port).
+            let far = if l.a.node == Node::Switch(sw) && l.a.port == port {
+                l.b
+            } else {
+                l.a
+            };
+            match far.node {
+                Node::Host(h) => {
+                    return if i == route.len() - 1 {
+                        ProbeOutcome::Host { id: h }
+                    } else {
+                        // Route bytes left over at a host: the NIC drops it.
+                        ProbeOutcome::Dead
+                    };
+                }
+                Node::Switch(s) => {
+                    sw = s;
+                }
+            }
+        }
+        ProbeOutcome::Switch {
+            serial: u64::from(sw.0),
+        }
+    }
+
+    fn max_ports(&self) -> u8 {
+        self.topo
+            .switch_ids()
+            .map(|s| self.topo.switch_port_count(s) as u8)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// What one discovered switch port leads to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortTarget {
+    /// Nothing cabled (or port does not exist).
+    Unwired,
+    /// A host NIC.
+    Host(HostId),
+    /// Another (or the same) switch, by serial.
+    Switch(u64),
+}
+
+/// A discovered switch.
+#[derive(Debug, Clone)]
+pub struct MapSwitch {
+    /// Canonical identity.
+    pub serial: u64,
+    /// A route prefix from the mapping host that ends inside this switch.
+    pub route: Vec<PortIx>,
+    /// Per-port discovery result.
+    pub ports: Vec<PortTarget>,
+}
+
+/// The reconstructed network map.
+#[derive(Debug, Clone)]
+pub struct NetworkMap {
+    /// Discovered switches in discovery (BFS) order, keyed by serial.
+    pub switches: BTreeMap<u64, MapSwitch>,
+    /// Hosts and their attachment: (switch serial, port).
+    pub hosts: BTreeMap<HostId, (u64, PortIx)>,
+    /// Probe packets spent on discovery.
+    pub probes_used: u64,
+}
+
+/// Run breadth-first discovery from the mapping host.
+pub fn map_network<T: ProbeTransport>(transport: &mut T) -> NetworkMap {
+    let max_ports = transport.max_ports();
+    let mut switches: BTreeMap<u64, MapSwitch> = BTreeMap::new();
+    let mut hosts: BTreeMap<HostId, (u64, PortIx)> = BTreeMap::new();
+
+    // The empty route ends inside the switch the mapper hangs off.
+    let ProbeOutcome::Switch { serial: root } = transport.probe(&[]) else {
+        panic!("mapping host must be attached to a switch");
+    };
+    let mut queue = VecDeque::new();
+    switches.insert(
+        root,
+        MapSwitch {
+            serial: root,
+            route: vec![],
+            ports: vec![PortTarget::Unwired; usize::from(max_ports)],
+        },
+    );
+    queue.push_back(root);
+
+    while let Some(serial) = queue.pop_front() {
+        let prefix = switches[&serial].route.clone();
+        for p in 0..max_ports {
+            let mut route = prefix.clone();
+            route.push(PortIx(p));
+            let outcome = transport.probe(&route);
+            let target = match outcome {
+                ProbeOutcome::Dead => PortTarget::Unwired,
+                ProbeOutcome::Host { id } => {
+                    hosts.entry(id).or_insert((serial, PortIx(p)));
+                    PortTarget::Host(id)
+                }
+                ProbeOutcome::Switch { serial: far } => {
+                    if let std::collections::btree_map::Entry::Vacant(e) = switches.entry(far) {
+                        e.insert(MapSwitch {
+                                serial: far,
+                                route: route.clone(),
+                                ports: vec![PortTarget::Unwired; usize::from(max_ports)],
+                            });
+                        queue.push_back(far);
+                    }
+                    PortTarget::Switch(far)
+                }
+            };
+            switches.get_mut(&serial).unwrap().ports[usize::from(p)] = target;
+        }
+    }
+
+    // probes_used is only known to transports that count; FabricProbe does.
+    NetworkMap {
+        switches,
+        hosts,
+        probes_used: 0,
+    }
+}
+
+/// Convenience: map via [`FabricProbe`] and record the probe count.
+///
+/// ```
+/// use itb_gm::mapper::map_fabric;
+/// use itb_topo::{builders::chain, HostId};
+///
+/// let fabric = chain(3, 1);
+/// let map = map_fabric(&fabric, HostId(0));
+/// assert_eq!(map.switches.len(), 3);
+/// assert_eq!(map.hosts.len(), 3);
+/// let reconstructed = map.to_topology();
+/// assert_eq!(reconstructed.num_links(), fabric.num_links());
+/// ```
+pub fn map_fabric(topo: &Topology, mapper_host: HostId) -> NetworkMap {
+    let mut t = FabricProbe::new(topo, mapper_host);
+    let mut m = map_network(&mut t);
+    m.probes_used = t.probes_sent();
+    m
+}
+
+impl NetworkMap {
+    /// Rebuild a [`Topology`] from the map.
+    ///
+    /// Switch indices follow serial order; host indices keep their real
+    /// ids (hosts answer probes with their identity, so indices line up
+    /// with the physical cluster — required for installing route tables).
+    /// All ports are marked SAN (see module docs); cable propagation gets a
+    /// uniform nominal value. For parallel cables between the same switch
+    /// pair the port pairing is arbitrary — routing-equivalent, since a
+    /// switch routes purely on the output-port byte.
+    pub fn to_topology(&self) -> Topology {
+        let mut t = Topology::new();
+        let serial_ix: BTreeMap<u64, itb_topo::SwitchId> = self
+            .switches
+            .keys()
+            .map(|&s| (s, itb_topo::SwitchId(0)))
+            .collect();
+        let mut serial_ix = serial_ix;
+        for (&serial, sw) in &self.switches {
+            let id = t.add_switch(vec![PortKind::San; sw.ports.len()]);
+            serial_ix.insert(serial, id);
+        }
+        // Hosts must be created in id order so indices match reality.
+        let max_host = self.hosts.keys().map(|h| h.0).max().unwrap_or(0);
+        for h in 0..=max_host {
+            let id = t.add_host(PortKind::San);
+            debug_assert_eq!(id, HostId(h));
+        }
+        let prop = SimDuration::from_ns(15);
+        // Host cables.
+        for (&h, &(serial, port)) in &self.hosts {
+            t.connect_host(h, serial_ix[&serial], port.0, prop)
+                .expect("discovered host port is free");
+        }
+        // Switch cables: for each unordered pair, collect the ports on both
+        // sides and pair them in ascending order.
+        let mut done: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for (&sa, sw) in &self.switches {
+            for (p, target) in sw.ports.iter().enumerate() {
+                let PortTarget::Switch(sb) = *target else {
+                    continue;
+                };
+                let key = (sa.min(sb), sa.max(sb));
+                if !done.insert(key) {
+                    continue;
+                }
+                if sa == sb {
+                    // Self-loop cable: pair this switch's self-leading
+                    // ports two by two.
+                    let selfs: Vec<u8> = sw
+                        .ports
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| **t == PortTarget::Switch(sa))
+                        .map(|(i, _)| i as u8)
+                        .collect();
+                    for pair in selfs.chunks(2) {
+                        if let [x, y] = *pair {
+                            t.connect_switches(
+                                serial_ix[&sa],
+                                x,
+                                serial_ix[&sa],
+                                y,
+                                prop,
+                            )
+                            .expect("self-loop ports free");
+                        }
+                    }
+                    continue;
+                }
+                let a_ports: Vec<u8> = sw
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t == PortTarget::Switch(sb))
+                    .map(|(i, _)| i as u8)
+                    .collect();
+                let b_ports: Vec<u8> = self.switches[&sb]
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t == PortTarget::Switch(sa))
+                    .map(|(i, _)| i as u8)
+                    .collect();
+                debug_assert_eq!(a_ports.len(), b_ports.len(), "asymmetric discovery");
+                for (&pa, &pb) in a_ports.iter().zip(&b_ports) {
+                    t.connect_switches(serial_ix[&sa], pa, serial_ix[&sb], pb, prop)
+                        .expect("discovered ports free");
+                }
+                let _ = p;
+            }
+        }
+        t.validate().expect("reconstructed map is connected");
+        t
+    }
+
+    /// The paper's modified mapper in one call: discover, reconstruct, and
+    /// compute the all-pairs route table under `policy`.
+    pub fn compute_routes(&self, policy: RoutingPolicy) -> RouteTable {
+        let topo = self.to_topology();
+        let ud = UpDown::compute_default(&topo);
+        RouteTable::compute(&topo, &ud, policy).expect("map is connected")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itb_topo::builders::{chain, fig6_testbed, random_irregular, ring, IrregularSpec};
+
+    #[test]
+    fn maps_the_fig6_testbed() {
+        let tb = fig6_testbed();
+        let map = map_fabric(&tb.topo, tb.host1);
+        assert_eq!(map.switches.len(), 2);
+        assert_eq!(map.hosts.len(), 3);
+        assert!(map.probes_used > 0);
+        // The loop cable shows up as self-leading ports on sw1's serial.
+        let sw1_serial = u64::from(tb.sw1.0);
+        let self_ports = map.switches[&sw1_serial]
+            .ports
+            .iter()
+            .filter(|t| **t == PortTarget::Switch(sw1_serial))
+            .count();
+        assert_eq!(self_ports, 2, "both ends of the loop cable");
+    }
+
+    #[test]
+    fn reconstruction_preserves_counts() {
+        let tb = fig6_testbed();
+        let map = map_fabric(&tb.topo, tb.host1);
+        let rec = map.to_topology();
+        assert_eq!(rec.num_switches(), tb.topo.num_switches());
+        assert_eq!(rec.num_hosts(), tb.topo.num_hosts());
+        assert_eq!(rec.num_links(), tb.topo.num_links());
+        rec.validate().unwrap();
+    }
+
+    #[test]
+    fn reconstruction_matches_random_networks() {
+        for seed in 0..6 {
+            let topo = random_irregular(&IrregularSpec::evaluation_default(10, seed));
+            let map = map_fabric(&topo, HostId(0));
+            let rec = map.to_topology();
+            assert_eq!(rec.num_switches(), topo.num_switches(), "seed {seed}");
+            assert_eq!(rec.num_hosts(), topo.num_hosts());
+            assert_eq!(rec.num_links(), topo.num_links());
+            // Neighbor multiset per switch serial matches.
+            for s in topo.switch_ids() {
+                let mut real: Vec<u16> = topo
+                    .switch_neighbors(s)
+                    .map(|(_, _, n)| n.0)
+                    .collect();
+                real.sort_unstable();
+                let msw = &map.switches[&u64::from(s.0)];
+                let mut seen: Vec<u16> = msw
+                    .ports
+                    .iter()
+                    .filter_map(|t| match t {
+                        PortTarget::Switch(x) => Some(*x as u16),
+                        _ => None,
+                    })
+                    .collect();
+                seen.sort_unstable();
+                assert_eq!(real, seen, "seed {seed} switch {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn discovered_routes_work_on_the_real_network() {
+        // The acid test: compute routes from the *reconstructed* map and
+        // check they are physically wired on the *real* topology.
+        let topo = random_irregular(&IrregularSpec::evaluation_default(8, 4));
+        let map = map_fabric(&topo, HostId(0));
+        for policy in [RoutingPolicy::UpDown, RoutingPolicy::Itb] {
+            let table = map.compute_routes(policy);
+            assert_eq!(table.num_hosts(), topo.num_hosts());
+            for r in table.iter() {
+                assert!(
+                    r.is_well_formed(&topo),
+                    "{policy:?} route {:?} not wired on the real fabric",
+                    (r.src, r.dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_from_any_host_gives_same_counts() {
+        let topo = chain(4, 2);
+        let a = map_fabric(&topo, HostId(0));
+        let b = map_fabric(&topo, HostId(7));
+        assert_eq!(a.switches.len(), b.switches.len());
+        assert_eq!(a.hosts.len(), b.hosts.len());
+    }
+
+    #[test]
+    fn probe_costs_scale_with_fabric() {
+        let small = map_fabric(&ring(4, 1), HostId(0));
+        let large = map_fabric(&ring(10, 1), HostId(0));
+        assert!(large.probes_used > small.probes_used);
+    }
+
+    #[test]
+    fn probe_semantics() {
+        let tb = fig6_testbed();
+        let mut t = FabricProbe::new(&tb.topo, tb.host1);
+        // Empty route: inside sw0.
+        assert_eq!(
+            t.probe(&[]),
+            ProbeOutcome::Switch {
+                serial: u64::from(tb.sw0.0)
+            }
+        );
+        // Out the host1 port back to... host1's own port leads to host1.
+        let (_, h1_port) = tb.topo.host_attachment(tb.host1);
+        assert_eq!(t.probe(&[h1_port]), ProbeOutcome::Host { id: tb.host1 });
+        // Unwired port on sw0.
+        assert_eq!(t.probe(&[PortIx(6)]), ProbeOutcome::Dead);
+        // Out of range.
+        assert_eq!(t.probe(&[PortIx(31)]), ProbeOutcome::Dead);
+        // Route bytes left at a host: dead.
+        assert_eq!(t.probe(&[h1_port, PortIx(0)]), ProbeOutcome::Dead);
+    }
+}

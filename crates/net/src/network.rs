@@ -1,0 +1,893 @@
+//! The wormhole network state machine.
+//!
+//! All mutable network state lives in [`Network`]; time passes through
+//! [`NetEvent`]s scheduled via the [`NetSched`] trait. See the crate docs
+//! for the modelling rules.
+
+use crate::config::{Arbitration, NetConfig};
+use crate::packet::{PacketDesc, PacketId, PacketState, TimelineEntry};
+use crate::stats::NetStats;
+use itb_sim::{SimDuration, SimTime};
+use itb_topo::{HostId, Node, PortIx, SwitchId, Topology};
+use std::collections::{HashMap, VecDeque};
+
+/// Scheduling hook: the embedding world turns these into entries of its own
+/// event queue.
+pub trait NetSched {
+    /// Schedule `ev` to be handed back to [`Network::handle`] at time `t`.
+    fn at(&mut self, t: SimTime, ev: NetEvent);
+}
+
+impl NetSched for itb_sim::EventQueue<NetEvent> {
+    fn at(&mut self, t: SimTime, ev: NetEvent) {
+        self.schedule(t, ev);
+    }
+}
+
+/// Network-internal events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A channel finished serializing one flit.
+    TxDone {
+        /// Channel index.
+        ch: u32,
+    },
+    /// A flit lands at the far end of a channel.
+    RxFlit {
+        /// Channel index.
+        ch: u32,
+        /// Packet the flit belongs to.
+        packet: PacketId,
+        /// Bytes in this flit.
+        bytes: u32,
+        /// First flit of the packet at this traversal stage.
+        head: bool,
+        /// Last flit of the packet at this traversal stage.
+        tail: bool,
+    },
+    /// A switch input port finished its head fall-through and routes its
+    /// front packet.
+    RouteReady {
+        /// Switch.
+        sw: SwitchId,
+        /// Input port on that switch.
+        port: PortIx,
+    },
+    /// A STOP (`stop = true`) or GO control byte reaches a channel's sender.
+    Ctrl {
+        /// Channel whose sender is being paused/resumed.
+        ch: u32,
+        /// STOP when true, GO when false.
+        stop: bool,
+    },
+}
+
+/// What the network tells the NIC layer. Drained with
+/// [`Network::take_indications`] after each handled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostIndication {
+    /// First flit (≥ 4 bytes) of a packet reached the host — the trigger
+    /// condition of the modified MCP's *Early Recv Packet* event.
+    HeadArrived {
+        /// Receiving host.
+        host: HostId,
+        /// The packet.
+        packet: PacketId,
+    },
+    /// More bytes arrived; `received` is the running total at this host.
+    BytesArrived {
+        /// Receiving host.
+        host: HostId,
+        /// The packet.
+        packet: PacketId,
+        /// Total bytes received so far at this traversal stage.
+        received: u32,
+    },
+    /// The tail arrived; the packet is fully in NIC memory.
+    PacketComplete {
+        /// Receiving host.
+        host: HostId,
+        /// The packet.
+        packet: PacketId,
+        /// Total wire bytes received.
+        received: u32,
+    },
+    /// The host's send serializer (send DMA) finished injecting a packet.
+    InjectionComplete {
+        /// Sending host.
+        host: HostId,
+        /// The packet.
+        packet: PacketId,
+    },
+}
+
+/// Who feeds a directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChanSource {
+    SwitchOut { sw: SwitchId, port: PortIx },
+    HostTx(HostId),
+}
+
+/// Who consumes a directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChanSink {
+    SwitchIn { sw: SwitchId, port: PortIx },
+    HostRx(HostId),
+}
+
+/// One directed channel (half of a full-duplex cable).
+#[derive(Debug)]
+struct Channel {
+    source: ChanSource,
+    sink: ChanSink,
+    prop: SimDuration,
+    tx_busy: bool,
+    paused: bool,
+    /// Last flit of the current packet is in the serializer.
+    finishing: bool,
+    /// For `SwitchOut` sources: the granted input port.
+    grant: Option<PortIx>,
+    /// Most recently granted input port (round-robin arbitration state).
+    last_granted: Option<PortIx>,
+    /// Input ports queued for this output.
+    waiting: VecDeque<PortIx>,
+    /// Stats.
+    bytes_sent: u64,
+    paused_since: Option<SimTime>,
+    paused_total: SimDuration,
+}
+
+/// A packet queued at a host's send serializer.
+#[derive(Debug)]
+struct HostTxPkt {
+    id: PacketId,
+    total: u32,
+    avail: u32,
+    sent: u32,
+}
+
+/// A packet currently streaming into a host.
+#[derive(Debug)]
+struct HostRxPkt {
+    id: PacketId,
+    received: u32,
+}
+
+#[derive(Debug)]
+struct HostPort {
+    tx_chan: u32,
+    /// Channel delivering into this host (paused by NIC backpressure).
+    rx_chan: u32,
+    tx_queue: VecDeque<HostTxPkt>,
+    rx_current: Option<HostRxPkt>,
+}
+
+/// A packet inside a switch input port's slack buffer.
+#[derive(Debug)]
+struct InPkt {
+    id: PacketId,
+    routed: bool,
+    granted: bool,
+    out_port: Option<PortIx>,
+    received: u32,
+    forwarded: u32,
+    tail_seen: bool,
+}
+
+#[derive(Debug)]
+struct InputPort {
+    /// Channel feeding this port (where STOP/GO is sent).
+    in_chan: u32,
+    occupancy: u32,
+    stopped: bool,
+    route_pending: bool,
+    queue: VecDeque<InPkt>,
+}
+
+/// The complete network model. See crate docs.
+pub struct Network {
+    topo: Topology,
+    cfg: NetConfig,
+    chans: Vec<Channel>,
+    /// `[switch][port]` — input-port state for cabled ports.
+    inputs: Vec<Vec<Option<InputPort>>>,
+    /// `[switch][port]` — outgoing channel index for cabled ports.
+    out_chan: Vec<Vec<Option<u32>>>,
+    hosts: Vec<HostPort>,
+    packets: HashMap<u64, PacketState>,
+    next_packet: u64,
+    indications: Vec<HostIndication>,
+    /// Timelines of retired packets (kept only when timelines are on).
+    retired_timelines: Vec<(PacketId, Vec<TimelineEntry>)>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Build the model for `topo` under `cfg`.
+    pub fn new(topo: Topology, cfg: NetConfig) -> Self {
+        assert!(cfg.flit_bytes >= 4, "head flit must carry the 4-byte early-recv window");
+        let nl = topo.num_links();
+        let mut chans = Vec::with_capacity(nl * 2);
+        for lid in topo.link_ids() {
+            let link = topo.link(lid);
+            for (from, to) in [(link.a, link.b), (link.b, link.a)] {
+                let source = match from.node {
+                    Node::Switch(sw) => ChanSource::SwitchOut { sw, port: from.port },
+                    Node::Host(h) => ChanSource::HostTx(h),
+                };
+                let sink = match to.node {
+                    Node::Switch(sw) => ChanSink::SwitchIn { sw, port: to.port },
+                    Node::Host(h) => ChanSink::HostRx(h),
+                };
+                chans.push(Channel {
+                    source,
+                    sink,
+                    prop: link.propagation,
+                    tx_busy: false,
+                    paused: false,
+                    finishing: false,
+                    grant: None,
+                    last_granted: None,
+                    waiting: VecDeque::new(),
+                    bytes_sent: 0,
+                    paused_since: None,
+                    paused_total: SimDuration::ZERO,
+                });
+            }
+        }
+        let mut inputs: Vec<Vec<Option<InputPort>>> = topo
+            .switch_ids()
+            .map(|s| (0..topo.switch_port_count(s)).map(|_| None).collect())
+            .collect();
+        let mut out_chan: Vec<Vec<Option<u32>>> = inputs
+            .iter()
+            .map(|v| vec![None; v.len()])
+            .collect();
+        let mut host_tx: Vec<Option<u32>> = vec![None; topo.num_hosts()];
+        let mut host_rx: Vec<Option<u32>> = vec![None; topo.num_hosts()];
+        for (ci, c) in chans.iter().enumerate() {
+            match c.sink {
+                ChanSink::HostRx(h) => host_rx[h.idx()] = Some(ci as u32),
+                ChanSink::SwitchIn { sw, port } => {
+                    inputs[sw.idx()][port.idx()] = Some(InputPort {
+                        in_chan: ci as u32,
+                        occupancy: 0,
+                        stopped: false,
+                        route_pending: false,
+                        queue: VecDeque::new(),
+                    });
+                }
+            }
+            match c.source {
+                ChanSource::SwitchOut { sw, port } => {
+                    out_chan[sw.idx()][port.idx()] = Some(ci as u32);
+                }
+                ChanSource::HostTx(h) => host_tx[h.idx()] = Some(ci as u32),
+            }
+        }
+        let hosts = host_tx
+            .into_iter()
+            .zip(host_rx)
+            .map(|(tx, rx)| HostPort {
+                tx_chan: tx.expect("every host is wired"),
+                rx_chan: rx.expect("every host is wired"),
+                tx_queue: VecDeque::new(),
+                rx_current: None,
+            })
+            .collect();
+        Network {
+            topo,
+            cfg,
+            chans,
+            inputs,
+            out_chan,
+            hosts,
+            packets: HashMap::new(),
+            next_packet: 0,
+            indications: Vec::new(),
+            retired_timelines: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The wired topology (shared with higher layers).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Append a timeline entry for `id` (no-op unless
+    /// `NetConfig::record_timelines` is set). Public so the NIC layer can
+    /// record firmware moments into the same per-packet timeline.
+    pub fn note(&mut self, id: PacketId, tag: &'static str, value: u32, t: SimTime) {
+        if !self.cfg.record_timelines {
+            return;
+        }
+        if let Some(p) = self.packets.get_mut(&id.0) {
+            p.timeline.push(TimelineEntry { tag, value, t });
+        }
+    }
+
+    /// Drain pending host indications (in emission order).
+    pub fn take_indications(&mut self) -> Vec<HostIndication> {
+        std::mem::take(&mut self.indications)
+    }
+
+    /// Number of packets still registered (in flight or awaiting retire).
+    pub fn in_flight(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Inspect an in-flight packet (panics on unknown id).
+    pub fn packet(&self, id: PacketId) -> &PacketState {
+        &self.packets[&id.0]
+    }
+
+    /// The two-byte packet type currently at the head of a packet's header,
+    /// if the packet is positioned at a NIC.
+    pub fn packet_type(&self, id: PacketId) -> Option<u16> {
+        self.packets[&id.0].desc.header.packet_type()
+    }
+
+    /// Strip the `ITB | Length` group from a packet parked at an in-transit
+    /// NIC (the MCP does this before reprogramming the send DMA).
+    pub fn strip_itb_group(&mut self, id: PacketId) -> u8 {
+        let p = self.packets.get_mut(&id.0).expect("packet exists");
+        p.itb_hops += 1;
+        p.desc.header.strip_itb_group()
+    }
+
+    /// Remove a fully delivered packet from the registry, returning its
+    /// final state (header should start with the GM type).
+    pub fn retire(&mut self, id: PacketId) -> PacketState {
+        let st = self.packets.remove(&id.0).expect("packet exists");
+        if self.cfg.record_timelines {
+            self.retired_timelines.push((id, st.timeline.clone()));
+        }
+        st
+    }
+
+    /// Drain the timelines of retired packets (empty unless
+    /// `NetConfig::record_timelines` is on).
+    pub fn take_retired_timelines(&mut self) -> Vec<(PacketId, Vec<TimelineEntry>)> {
+        std::mem::take(&mut self.retired_timelines)
+    }
+
+    /// Whether the host's send serializer has work queued or in progress.
+    pub fn host_tx_busy(&self, host: HostId) -> bool {
+        !self.hosts[host.idx()].tx_queue.is_empty()
+    }
+
+    /// NIC receive flow control: pause (`true`) or resume (`false`) the
+    /// channel delivering into `host` — what the LANai does when no receive
+    /// buffer is programmed for the next reception. Backpressure then
+    /// propagates upstream through the ordinary Stop&Go machinery.
+    pub fn set_host_rx_paused(
+        &mut self,
+        host: HostId,
+        paused: bool,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        let ch = self.hosts[host.idx()].rx_chan;
+        self.on_ctrl(ch, paused, now, sched);
+    }
+
+    /// Inject a packet at `host`. `avail` bytes are sendable immediately
+    /// (pass the packet's full wire length for ordinary sends); more can be
+    /// released later with [`Network::extend_available`]. Returns the packet
+    /// id.
+    pub fn inject(
+        &mut self,
+        host: HostId,
+        desc: PacketDesc,
+        avail: u32,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let corrupted = self
+            .cfg
+            .corrupt_every
+            .is_some_and(|n| self.next_packet.is_multiple_of(n));
+        let st = PacketState {
+            desc,
+            injected_at: now,
+            route_bytes_consumed: 0,
+            itb_hops: 0,
+            corrupted,
+            timeline: Vec::new(),
+        };
+        let total = st.wire_len();
+        self.packets.insert(id.0, st);
+        self.stats.injected += 1;
+        self.note(id, "inject", u32::from(host.0), now);
+        let hp = &mut self.hosts[host.idx()];
+        hp.tx_queue.push_back(HostTxPkt {
+            id,
+            total,
+            avail: avail.min(total),
+            sent: 0,
+        });
+        let ch = hp.tx_chan;
+        self.try_send(ch, now, sched);
+        id
+    }
+
+    /// Re-inject a packet parked at an in-transit host. The `ITB | Length`
+    /// group must already have been stripped ([`Network::strip_itb_group`]).
+    /// `avail` is the number of wire bytes already on hand (received − 3);
+    /// extend as reception progresses.
+    pub fn reinject(
+        &mut self,
+        host: HostId,
+        id: PacketId,
+        avail: u32,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        let total = self.packets[&id.0].wire_len();
+        self.note(id, "reinject", u32::from(host.0), now);
+        let hp = &mut self.hosts[host.idx()];
+        hp.tx_queue.push_back(HostTxPkt {
+            id,
+            total,
+            avail: avail.min(total),
+            sent: 0,
+        });
+        self.stats.reinjected += 1;
+        let ch = hp.tx_chan;
+        self.try_send(ch, now, sched);
+    }
+
+    /// Raise the sendable-byte watermark of a queued packet to `avail`
+    /// (absolute, monotonic; clamped to the packet's length).
+    pub fn extend_available(
+        &mut self,
+        host: HostId,
+        id: PacketId,
+        avail: u32,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        let hp = &mut self.hosts[host.idx()];
+        let mut is_front = false;
+        if let Some(pos) = hp.tx_queue.iter().position(|p| p.id == id) {
+            let p = &mut hp.tx_queue[pos];
+            p.avail = avail.min(p.total).max(p.avail);
+            is_front = pos == 0;
+        }
+        if is_front {
+            let ch = hp.tx_chan;
+            self.try_send(ch, now, sched);
+        }
+    }
+
+    /// Main event dispatcher.
+    pub fn handle(&mut self, now: SimTime, ev: NetEvent, sched: &mut impl NetSched) {
+        match ev {
+            NetEvent::TxDone { ch } => self.on_tx_done(ch, now, sched),
+            NetEvent::RxFlit {
+                ch,
+                packet,
+                bytes,
+                head,
+                tail,
+            } => self.on_rx_flit(ch, packet, bytes, head, tail, now, sched),
+            NetEvent::RouteReady { sw, port } => self.on_route_ready(sw, port, now, sched),
+            NetEvent::Ctrl { ch, stop } => self.on_ctrl(ch, stop, now, sched),
+        }
+    }
+
+    /// Attempt to put the next flit of the current packet on channel `ch`.
+    fn try_send(&mut self, ch: u32, now: SimTime, sched: &mut impl NetSched) {
+        let c = &self.chans[ch as usize];
+        if c.tx_busy || c.paused {
+            return;
+        }
+        let flit = self.cfg.flit_bytes;
+        // Work out (packet, bytes, head, tail) from the source, mutating the
+        // source-side accounting.
+        let pulled = match c.source {
+            ChanSource::HostTx(h) => {
+                let hp = &mut self.hosts[h.idx()];
+                let Some(front) = hp.tx_queue.front_mut() else {
+                    return;
+                };
+                let pullable = front.avail.min(front.total) - front.sent;
+                if pullable == 0 {
+                    return;
+                }
+                let bytes = pullable.min(flit);
+                let head = front.sent == 0;
+                front.sent += bytes;
+                let tail = front.sent == front.total;
+                Some((front.id, bytes, head, tail))
+            }
+            ChanSource::SwitchOut { sw, .. } => {
+                let Some(in_port) = c.grant else {
+                    return;
+                };
+                let inp = self.inputs[sw.idx()][in_port.idx()]
+                    .as_mut()
+                    .expect("granted input exists");
+                let Some(front) = inp.queue.front_mut() else {
+                    return;
+                };
+                debug_assert!(front.routed && front.granted);
+                let pullable = front.received - front.forwarded;
+                if pullable == 0 {
+                    return;
+                }
+                let bytes = pullable.min(flit);
+                let head = front.forwarded == 0;
+                front.forwarded += bytes;
+                let tail = front.tail_seen && front.forwarded == front.received;
+                let id = front.id;
+                inp.occupancy -= bytes;
+                // GO when the buffer drains below threshold.
+                if inp.stopped && inp.occupancy <= self.cfg.go_threshold {
+                    inp.stopped = false;
+                    let up = inp.in_chan;
+                    sched.at(now + self.cfg.ctrl_latency, NetEvent::Ctrl { ch: up, stop: false });
+                }
+                if tail {
+                    inp.queue.pop_front();
+                    // Next packet (if its head is here) can start routing now.
+                    self.schedule_front_routing(sw, in_port, now, sched);
+                }
+                Some((id, bytes, head, tail))
+            }
+        };
+        let Some((id, bytes, head, tail)) = pulled else {
+            return;
+        };
+        let c = &mut self.chans[ch as usize];
+        c.tx_busy = true;
+        c.finishing = tail;
+        c.bytes_sent += u64::from(bytes);
+        let ser = self.cfg.link_bw.transfer_time(u64::from(bytes));
+        sched.at(now + ser, NetEvent::TxDone { ch });
+        sched.at(
+            now + ser + c.prop,
+            NetEvent::RxFlit {
+                ch,
+                packet: id,
+                bytes,
+                head,
+                tail,
+            },
+        );
+    }
+
+    fn on_tx_done(&mut self, ch: u32, now: SimTime, sched: &mut impl NetSched) {
+        let c = &mut self.chans[ch as usize];
+        c.tx_busy = false;
+        if c.finishing {
+            c.finishing = false;
+            match c.source {
+                ChanSource::HostTx(h) => {
+                    let hp = &mut self.hosts[h.idx()];
+                    let done = hp.tx_queue.pop_front().expect("finishing implies a packet");
+                    debug_assert_eq!(done.sent, done.total);
+                    self.indications.push(HostIndication::InjectionComplete {
+                        host: h,
+                        packet: done.id,
+                    });
+                }
+                ChanSource::SwitchOut { sw, .. } => {
+                    c.grant = None;
+                    // Hand the output to the next waiting input per the
+                    // configured arbitration discipline.
+                    let next = match self.cfg.arbitration {
+                        Arbitration::Fifo => {
+                            if c.waiting.is_empty() {
+                                None
+                            } else {
+                                c.waiting.pop_front()
+                            }
+                        }
+                        Arbitration::RoundRobin => {
+                            let last = c.last_granted.map(|p| p.0).unwrap_or(0);
+                            let pick = c
+                                .waiting
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, p)| p.0.wrapping_sub(last + 1) & 0x3F)
+                                .map(|(i, _)| i);
+                            pick.and_then(|i| c.waiting.remove(i))
+                        }
+                    };
+                    if let Some(next_in) = next {
+                        self.assign_grant(ch, sw, next_in);
+                    }
+                }
+            }
+        }
+        self.try_send(ch, now, sched);
+    }
+
+    /// Give output channel `ch` (on switch `sw`) to input port `in_port`.
+    fn assign_grant(&mut self, ch: u32, sw: SwitchId, in_port: PortIx) {
+        let inp = self.inputs[sw.idx()][in_port.idx()]
+            .as_mut()
+            .expect("waiting input exists");
+        let front = inp
+            .queue
+            .front_mut()
+            .expect("requesting input has a front packet");
+        debug_assert!(front.routed && !front.granted);
+        front.granted = true;
+        let c = &mut self.chans[ch as usize];
+        c.grant = Some(in_port);
+        c.last_granted = Some(in_port);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the RxFlit event fields
+    fn on_rx_flit(
+        &mut self,
+        ch: u32,
+        packet: PacketId,
+        bytes: u32,
+        head: bool,
+        tail: bool,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        match self.chans[ch as usize].sink {
+            ChanSink::SwitchIn { sw, port } => {
+                let cfg_stop = self.cfg.stop_threshold;
+                let inp = self.inputs[sw.idx()][port.idx()]
+                    .as_mut()
+                    .expect("flit arrives at a cabled port");
+                if head {
+                    inp.queue.push_back(InPkt {
+                        id: packet,
+                        routed: false,
+                        granted: false,
+                        out_port: None,
+                        received: 0,
+                        forwarded: 0,
+                        tail_seen: false,
+                    });
+                }
+                let is_front = inp.queue.front().map(|p| p.id) == Some(packet);
+                let pkt = inp
+                    .queue
+                    .iter_mut()
+                    .rev()
+                    .find(|p| p.id == packet)
+                    .expect("flit belongs to a queued packet");
+                pkt.received += bytes;
+                if tail {
+                    pkt.tail_seen = true;
+                }
+                let (routed, granted, out_port) = (pkt.routed, pkt.granted, pkt.out_port);
+                inp.occupancy += bytes;
+                debug_assert!(
+                    inp.occupancy <= self.cfg.slack_capacity,
+                    "slack overrun at {sw}:{port} ({} bytes)",
+                    inp.occupancy
+                );
+                if !inp.stopped && inp.occupancy >= cfg_stop {
+                    inp.stopped = true;
+                    let up = inp.in_chan;
+                    sched.at(now + self.cfg.ctrl_latency, NetEvent::Ctrl { ch: up, stop: true });
+                }
+                if head && is_front && !inp.route_pending {
+                    self.schedule_front_routing(sw, port, now, sched);
+                } else if is_front && routed && granted {
+                    // Body bytes for the worm being forwarded: kick the
+                    // output serializer in case it idled out of bytes.
+                    let out =
+                        self.out_chan[sw.idx()][out_port.expect("routed has out port").idx()]
+                            .expect("routed to a cabled port");
+                    self.try_send(out, now, sched);
+                }
+            }
+            ChanSink::HostRx(h) => {
+                let received = {
+                    let hp = &mut self.hosts[h.idx()];
+                    if head {
+                        debug_assert!(hp.rx_current.is_none(), "host channel is packet-serial");
+                        hp.rx_current = Some(HostRxPkt {
+                            id: packet,
+                            received: 0,
+                        });
+                    }
+                    let rx = hp.rx_current.as_mut().expect("rx in progress");
+                    debug_assert_eq!(rx.id, packet);
+                    rx.received += bytes;
+                    let received = rx.received;
+                    if tail {
+                        hp.rx_current = None;
+                    }
+                    received
+                };
+                if head {
+                    self.indications
+                        .push(HostIndication::HeadArrived { host: h, packet });
+                    self.note(packet, "head", u32::from(h.0), now);
+                }
+                self.indications.push(HostIndication::BytesArrived {
+                    host: h,
+                    packet,
+                    received,
+                });
+                if tail {
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += u64::from(received);
+                    self.indications.push(HostIndication::PacketComplete {
+                        host: h,
+                        packet,
+                        received,
+                    });
+                    self.note(packet, "tail", u32::from(h.0), now);
+                }
+            }
+        }
+    }
+
+    /// If the front packet of input `(sw, port)` has its head here and is
+    /// not yet routed, start its fall-through timer.
+    fn schedule_front_routing(
+        &mut self,
+        sw: SwitchId,
+        port: PortIx,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        let inp = self.inputs[sw.idx()][port.idx()].as_ref().expect("port exists");
+        let Some(front) = inp.queue.front() else {
+            return;
+        };
+        if front.routed || inp.route_pending {
+            return;
+        }
+        // Peek the route byte to learn the output kind (kind-dependent
+        // fall-through), without consuming it yet.
+        let hdr = &self.packets[&front.id.0].desc.header;
+        let out_port = itb_routing::wire::decode_route_byte(hdr.as_bytes()[0])
+            .expect("packet at a switch must lead with a route byte");
+        let kin = self.topo.switch_port_kind(sw, port);
+        let kout = self.topo.switch_port_kind(sw, out_port);
+        let delay = self.cfg.fall_through.delay(kin, kout);
+        self.inputs[sw.idx()][port.idx()]
+            .as_mut()
+            .unwrap()
+            .route_pending = true;
+        sched.at(now + delay, NetEvent::RouteReady { sw, port });
+    }
+
+    fn on_route_ready(
+        &mut self,
+        sw: SwitchId,
+        port: PortIx,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
+        let inp = self.inputs[sw.idx()][port.idx()]
+            .as_mut()
+            .expect("port exists");
+        inp.route_pending = false;
+        let front = inp.queue.front_mut().expect("routing a queued packet");
+        let id = front.id;
+        debug_assert!(!front.routed);
+        // The switch strips the route byte from the header: it is gone from
+        // the wire from here on.
+        front.received -= 1;
+        inp.occupancy -= 1;
+        front.routed = true;
+        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        let out_port = pkt.desc.header.consume_route_byte();
+        pkt.route_bytes_consumed += 1;
+        let inp = self.inputs[sw.idx()][port.idx()].as_mut().unwrap();
+        inp.queue.front_mut().unwrap().out_port = Some(out_port);
+        self.note(id, "route", u32::from(sw.0), now);
+        let out = self.out_chan[sw.idx()][out_port.idx()]
+            .unwrap_or_else(|| panic!("route byte names unwired port {out_port} at {sw}"));
+        let c = &mut self.chans[out as usize];
+        if c.grant.is_none() && !c.finishing {
+            self.assign_grant(out, sw, port);
+            self.try_send(out, now, sched);
+        } else {
+            c.waiting.push_back(port);
+        }
+    }
+
+    fn on_ctrl(&mut self, ch: u32, stop: bool, now: SimTime, sched: &mut impl NetSched) {
+        let c = &mut self.chans[ch as usize];
+        if stop == c.paused {
+            return; // duplicate control byte
+        }
+        c.paused = stop;
+        if stop {
+            c.paused_since = Some(now);
+        } else {
+            if let Some(since) = c.paused_since.take() {
+                c.paused_total += now - since;
+            }
+            self.try_send(ch, now, sched);
+        }
+    }
+
+    /// Total time each channel spent STOPped, summed (diagnostic for
+    /// contention experiments).
+    pub fn total_paused(&self) -> SimDuration {
+        self.chans
+            .iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + c.paused_total)
+    }
+
+    /// Bytes serialized per channel (diagnostic; index = channel).
+    pub fn channel_bytes(&self) -> Vec<u64> {
+        self.chans.iter().map(|c| c.bytes_sent).collect()
+    }
+
+    /// Bytes carried per cable, both directions: `(link, a→b, b→a)`.
+    /// Channels are laid out pairwise per link, so this is a fold of
+    /// [`Network::channel_bytes`] keyed by the topology's links.
+    pub fn link_bytes(&self) -> Vec<(itb_topo::LinkId, u64, u64)> {
+        self.topo
+            .link_ids()
+            .map(|lid| {
+                let fwd = self.chans[lid.idx() * 2].bytes_sent;
+                let rev = self.chans[lid.idx() * 2 + 1].bytes_sent;
+                (lid, fwd, rev)
+            })
+            .collect()
+    }
+
+    /// Debug: human-readable location summary of an in-flight packet — is it
+    /// queued at a host TX, buffered in a switch input, or being received?
+    pub fn locate_packet(&self, id: PacketId) -> String {
+        let mut spots = Vec::new();
+        for (h, hp) in self.hosts.iter().enumerate() {
+            if let Some(pos) = hp.tx_queue.iter().position(|p| p.id == id) {
+                let p = &hp.tx_queue[pos];
+                spots.push(format!(
+                    "host{h} tx_queue[{pos}] sent {}/{} avail {} (chan paused: {})",
+                    p.sent, p.total, p.avail, self.chans[hp.tx_chan as usize].paused
+                ));
+            }
+            if hp.rx_current.as_ref().map(|r| r.id) == Some(id) {
+                spots.push(format!("host{h} rx_current"));
+            }
+        }
+        for (si, ports) in self.inputs.iter().enumerate() {
+            for (pi, inp) in ports.iter().enumerate() {
+                let Some(inp) = inp else { continue };
+                if let Some(pos) = inp.queue.iter().position(|p| p.id == id) {
+                    let p = &inp.queue[pos];
+                    spots.push(format!(
+                        "sw{si}:p{pi} slot[{pos}] recv {} fwd {} routed {} granted {} tail {}",
+                        p.received, p.forwarded, p.routed, p.granted, p.tail_seen
+                    ));
+                }
+            }
+        }
+        if spots.is_empty() {
+            spots.push("not in any queue (awaiting NIC action)".into());
+        }
+        spots.join("; ")
+    }
+
+    /// Packets that are registered but can make no further progress because
+    /// the event queue drained — i.e. a wormhole deadlock or a packet parked
+    /// at a NIC awaiting action. Used by tests to *observe* deadlock.
+    pub fn parked_packets(&self) -> Vec<PacketId> {
+        let mut v: Vec<PacketId> = self.packets.keys().map(|&k| PacketId(k)).collect();
+        v.sort();
+        v
+    }
+}

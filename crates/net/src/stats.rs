@@ -1,0 +1,30 @@
+//! Network-level counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`crate::Network`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Packets injected by hosts.
+    pub injected: u64,
+    /// Packets re-injected by in-transit hosts.
+    pub reinjected: u64,
+    /// Packets fully delivered into a host.
+    pub delivered: u64,
+    /// Wire bytes delivered into hosts.
+    pub bytes_delivered: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = NetStats::default();
+        assert_eq!(s.injected, 0);
+        assert_eq!(s.reinjected, 0);
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.bytes_delivered, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # itb-nic — the LANai network interface and the MCP firmware model
+//!
+//! Models the part of the system the paper actually modified: the Myrinet
+//! Control Program running on the LANai chip of each network adapter.
+//!
+//! The structural elements follow the paper's §3–4:
+//!
+//! * a single firmware **CPU** that runs one event handler at a time
+//!   ([`timing::McpTiming`] prices each handler block in LANai cycles);
+//! * a **host DMA engine** shared by the SDMA (host→SRAM) and RDMA
+//!   (SRAM→host) state machines, serviced FIFO ([`dma`]);
+//! * two **send buffers** and a configurable pool of **receive buffers** in
+//!   NIC SRAM (the paper keeps the stock two of each; its §4 proposes the
+//!   larger circular pool modelled by the `recv_buffers` knob);
+//! * the four MCP state machines — SDMA, Send, Recv, RDMA — expressed as
+//!   event handlers in [`mcp::Nic`];
+//! * the paper's modifications, enabled by [`mcp::McpFlavor::Itb`]:
+//!   the **Early Recv Packet** event raised when the first four bytes of a
+//!   packet arrive, the ITB-type check, immediate send-DMA reprogramming for
+//!   re-injection (virtual cut-through), and the *ITB packet pending* flag
+//!   used when the send DMA is busy.
+//!
+//! The per-packet cost of merely *supporting* ITBs (the ~125 ns of Figure 7)
+//! and the per-ITB forwarding delay (the ~1.3 µs of Figure 8) both emerge
+//! from the cycle prices in [`timing::McpTiming`]; see DESIGN.md §5.
+
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod events;
+pub mod mcp;
+pub mod stats;
+pub mod timing;
+
+pub use events::{CpuWork, DmaJob, NicEvent, NicOutput, NicSched};
+pub use mcp::{McpFlavor, Nic};
+pub use timing::McpTiming;

@@ -1,0 +1,261 @@
+//! The hand-built evaluation routes of the paper's Figure 6 testbed.
+//!
+//! The paper measures two paths between host 1 and host 2 that each cross
+//! **five** switches and the same multiset of port kinds, so the only timing
+//! difference between them is the ejection/re-injection at the in-transit
+//! host:
+//!
+//! * the **UD path** uses a loop cable at the far switch to burn the extra
+//!   crossings: `h1 → sw0 →A→ sw1 →loop→ sw1 →A'→ sw0 →B→ sw1 → h2`;
+//! * the **ITB path** detours through the in-transit host on `sw0`:
+//!   `h1 → sw0 →A→ sw1 →A'→ sw0 → itb_host ⟲ sw0 →B→ sw1 → h2`.
+//!
+//! Figure 7's baseline path is the plain two-crossing up\*/down\* route.
+
+use crate::path::{Hop, Segment, SourceRoute};
+use itb_topo::builders::Fig6Testbed;
+use itb_topo::{PortKind, Topology};
+
+/// The plain route used for Figure 7: `h1 → sw0 → sw1 → h2` (2 crossings).
+pub fn fig7_route(tb: &Fig6Testbed) -> SourceRoute {
+    let t = &tb.topo;
+    let (_, h2_port) = t.host_attachment(tb.host2);
+    SourceRoute::direct(
+        tb.host1,
+        tb.host2,
+        vec![
+            Hop {
+                switch: tb.sw0,
+                out_port: t.out_port(tb.sw0, tb.cable_a),
+            },
+            Hop {
+                switch: tb.sw1,
+                out_port: h2_port,
+            },
+        ],
+    )
+}
+
+/// The return route for the ping-pong (`h2 → h1`), mirroring [`fig7_route`].
+pub fn fig7_return_route(tb: &Fig6Testbed) -> SourceRoute {
+    let t = &tb.topo;
+    let (_, h1_port) = t.host_attachment(tb.host1);
+    SourceRoute::direct(
+        tb.host2,
+        tb.host1,
+        vec![
+            Hop {
+                switch: tb.sw1,
+                out_port: t.out_port(tb.sw1, tb.cable_a),
+            },
+            Hop {
+                switch: tb.sw0,
+                out_port: h1_port,
+            },
+        ],
+    )
+}
+
+/// Figure 8's **UD** path: five crossings via the loop cable, no ITB.
+pub fn fig8_ud_route(tb: &Fig6Testbed) -> SourceRoute {
+    let t = &tb.topo;
+    let loop_link = t.link(tb.loop_cable);
+    let loop_p_lo = loop_link.a.port.min(loop_link.b.port);
+    let (_, h2_port) = t.host_attachment(tb.host2);
+    let hops = vec![
+        // h1 enters sw0, leaves on cable A.
+        Hop {
+            switch: tb.sw0,
+            out_port: t.out_port(tb.sw0, tb.cable_a),
+        },
+        // sw1: out the low loop port, back in through the high one.
+        Hop {
+            switch: tb.sw1,
+            out_port: loop_p_lo,
+        },
+        // sw1 again: back to sw0 on cable A (reverse channel).
+        Hop {
+            switch: tb.sw1,
+            out_port: t.out_port(tb.sw1, tb.cable_a),
+        },
+        // sw0: out on cable B.
+        Hop {
+            switch: tb.sw0,
+            out_port: t.out_port(tb.sw0, tb.cable_b),
+        },
+        // sw1: exit to host2.
+        Hop {
+            switch: tb.sw1,
+            out_port: h2_port,
+        },
+    ];
+    SourceRoute::direct(tb.host1, tb.host2, hops)
+}
+
+/// Figure 8's **ITB** path: five crossings with one in-transit buffer at the
+/// host on `sw0`.
+pub fn fig8_itb_route(tb: &Fig6Testbed) -> SourceRoute {
+    let t = &tb.topo;
+    let (_, itb_port) = t.host_attachment(tb.itb_host);
+    let (_, h2_port) = t.host_attachment(tb.host2);
+    SourceRoute {
+        src: tb.host1,
+        dst: tb.host2,
+        segments: vec![
+            Segment {
+                from: tb.host1,
+                to: tb.itb_host,
+                hops: vec![
+                    // h1 → sw0 → A → sw1.
+                    Hop {
+                        switch: tb.sw0,
+                        out_port: t.out_port(tb.sw0, tb.cable_a),
+                    },
+                    // sw1 → A' → sw0.
+                    Hop {
+                        switch: tb.sw1,
+                        out_port: t.out_port(tb.sw1, tb.cable_a),
+                    },
+                    // sw0 → in-transit host.
+                    Hop {
+                        switch: tb.sw0,
+                        out_port: itb_port,
+                    },
+                ],
+            },
+            Segment {
+                from: tb.itb_host,
+                to: tb.host2,
+                hops: vec![
+                    // itb host → sw0 → B → sw1.
+                    Hop {
+                        switch: tb.sw0,
+                        out_port: t.out_port(tb.sw0, tb.cable_b),
+                    },
+                    // sw1 → host2.
+                    Hop {
+                        switch: tb.sw1,
+                        out_port: h2_port,
+                    },
+                ],
+            },
+        ],
+    }
+}
+
+/// Return route for Figure 8 ping-pongs: host2 back to host1 the plain way
+/// (both configurations use the same return path, so it cancels in the
+/// half-round-trip difference).
+pub fn fig8_return_route(tb: &Fig6Testbed) -> SourceRoute {
+    fig7_return_route(tb)
+}
+
+/// The multiset of (input kind, output kind) port pairs a route traverses —
+/// the quantity the paper equalized between the two Figure 8 paths.
+pub fn port_kind_profile(topo: &Topology, route: &SourceRoute) -> Vec<(PortKind, PortKind)> {
+    let mut pairs = Vec::new();
+    for seg in &route.segments {
+        // Input to the first hop is the from-host's link.
+        let mut in_port_kind = {
+            let (sw, port) = topo.host_attachment(seg.from);
+            debug_assert_eq!(sw, seg.hops[0].switch);
+            topo.switch_port_kind(sw, port)
+        };
+        for hop in &seg.hops {
+            let out_kind = topo.switch_port_kind(hop.switch, hop.out_port);
+            pairs.push((in_port_kind, out_kind));
+            // The next hop's input port is the far end of this link.
+            if let Some(link) = topo.link_at(hop.switch, hop.out_port) {
+                let l = topo.link(link);
+                let far = if l.a.node == itb_topo::Node::Switch(hop.switch)
+                    && l.a.port == hop.out_port
+                {
+                    l.b
+                } else {
+                    l.a
+                };
+                if let Some(far_sw) = far.node.as_switch() {
+                    in_port_kind = topo.switch_port_kind(far_sw, far.port);
+                }
+            }
+        }
+    }
+    let mut sorted = pairs;
+    sorted.sort_by_key(|&(a, b)| (a == PortKind::Lan, b == PortKind::Lan));
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itb_topo::builders::fig6_testbed;
+
+    #[test]
+    fn fig7_routes_are_wired() {
+        let tb = fig6_testbed();
+        let f = fig7_route(&tb);
+        let r = fig7_return_route(&tb);
+        assert!(f.is_well_formed(&tb.topo));
+        assert!(r.is_well_formed(&tb.topo));
+        assert_eq!(f.total_crossings(), 2);
+        assert_eq!(r.total_crossings(), 2);
+        assert_eq!(f.itb_count(), 0);
+    }
+
+    #[test]
+    fn fig8_paths_cross_five_switches() {
+        let tb = fig6_testbed();
+        let ud = fig8_ud_route(&tb);
+        let itb = fig8_itb_route(&tb);
+        assert!(ud.is_well_formed(&tb.topo), "{ud:?}");
+        assert!(itb.is_well_formed(&tb.topo), "{itb:?}");
+        assert_eq!(ud.total_crossings(), 5, "paper: both paths cross 5 switches");
+        assert_eq!(itb.total_crossings(), 5);
+        assert_eq!(ud.itb_count(), 0);
+        assert_eq!(itb.itb_count(), 1);
+        assert_eq!(itb.itb_hosts().collect::<Vec<_>>(), vec![tb.itb_host]);
+    }
+
+    #[test]
+    fn fig8_paths_have_matching_port_kind_profiles() {
+        let tb = fig6_testbed();
+        let ud = port_kind_profile(&tb.topo, &fig8_ud_route(&tb));
+        let itb = port_kind_profile(&tb.topo, &fig8_itb_route(&tb));
+        assert_eq!(
+            ud, itb,
+            "paper: both paths must cross the same kinds of ports"
+        );
+    }
+
+    #[test]
+    fn fig8_ud_uses_distinct_channels() {
+        // The UD worm must never hold the same directed channel twice or it
+        // would block on itself.
+        let tb = fig6_testbed();
+        let r = fig8_ud_route(&tb);
+        let mut seen = std::collections::HashSet::new();
+        for seg in &r.segments {
+            for hop in &seg.hops {
+                let link = tb.topo.link_at(hop.switch, hop.out_port).unwrap();
+                let l = tb.topo.link(link);
+                let a_to_b = l.a.node == itb_topo::Node::Switch(hop.switch)
+                    && l.a.port == hop.out_port;
+                assert!(
+                    seen.insert((link, a_to_b)),
+                    "channel reused: link {link:?} dir {a_to_b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_headers_encode() {
+        let tb = fig6_testbed();
+        let ud_h = crate::wire::Header::encode(&fig8_ud_route(&tb));
+        let itb_h = crate::wire::Header::encode(&fig8_itb_route(&tb));
+        // UD: 5 route bytes + 2 type bytes.
+        assert_eq!(ud_h.len(), 7);
+        // ITB: 3 + (2 tag + 1 len) + 2 + 2 = 10.
+        assert_eq!(itb_h.len(), 10);
+    }
+}

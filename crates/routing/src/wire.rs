@@ -1,0 +1,386 @@
+//! Packet header encoding — the paper's Figure 3.
+//!
+//! An original Myrinet packet is `Path | Type | Payload | CRC`: one route
+//! byte per switch (consumed by the switch that routes on it), a two-byte
+//! packet type, the payload, and a trailing CRC-8. The ITB format interposes
+//! `ITB | Length` groups: after the first segment's route bytes comes the
+//! **ITB tag** (a two-byte packet type assigned for in-transit packets) and
+//! one byte giving the length of the remaining header, then the next
+//! segment's route bytes, and so on, ending with the real packet type.
+//!
+//! When a packet reaches a NIC its leading two bytes are a type. A normal
+//! NIC sees `TYPE_GM`; an in-transit NIC sees [`TYPE_ITB`], strips the
+//! three-byte `ITB | Length` group, and re-injects the rest unchanged —
+//! which again starts with route bytes, exactly what the next switch needs.
+
+use crate::path::SourceRoute;
+use itb_topo::PortIx;
+
+/// Two-byte packet type of an ordinary GM message.
+pub const TYPE_GM: u16 = 0x000D;
+/// Two-byte packet type marking an in-transit packet (in reality assigned by
+/// Myricom on request; any value distinct from the stock types works).
+pub const TYPE_ITB: u16 = 0x00E7;
+/// Two-byte packet type of mapper/probe packets (modelled for completeness).
+pub const TYPE_MAP: u16 = 0x0003;
+
+/// A route byte names a switch output port. The top bits tag it as a routing
+/// byte (real Myrinet encodes crossbar deltas; the tag keeps route bytes
+/// disjoint from type bytes so decoding is unambiguous in tests).
+const ROUTE_TAG: u8 = 0xC0;
+
+/// Encode one output port as a route byte.
+#[inline]
+pub fn route_byte(port: PortIx) -> u8 {
+    debug_assert!(port.0 < 0x40, "port fits in 6 bits");
+    ROUTE_TAG | port.0
+}
+
+/// Decode a route byte back to a port.
+#[inline]
+pub fn decode_route_byte(b: u8) -> Option<PortIx> {
+    if b & ROUTE_TAG == ROUTE_TAG {
+        Some(PortIx(b & 0x3F))
+    } else {
+        None
+    }
+}
+
+/// CRC-8 (polynomial 0x07, init 0) over a byte slice — stands in for the
+/// 8-bit CRC Myrinet appends to every packet.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Header built from a [`SourceRoute`]: everything before the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    bytes: Vec<u8>,
+}
+
+impl Header {
+    /// Encode the header for `route` (paper Figure 3b). With a single
+    /// segment this degenerates to the original format of Figure 3a.
+    ///
+    /// ```
+    /// use itb_routing::path::{Hop, SourceRoute};
+    /// use itb_routing::wire::Header;
+    /// use itb_topo::{HostId, SwitchId};
+    ///
+    /// let route = SourceRoute::direct(
+    ///     HostId(0),
+    ///     HostId(1),
+    ///     vec![Hop::new(SwitchId(0), 3), Hop::new(SwitchId(1), 1)],
+    /// );
+    /// let header = Header::encode(&route);
+    /// // Two route bytes + the two-byte GM type.
+    /// assert_eq!(header.len(), 4);
+    /// ```
+    pub fn encode(route: &SourceRoute) -> Header {
+        let mut bytes = Vec::new();
+        let last = route.segments.len() - 1;
+        // Work out each trailing group's length first (the Length byte counts
+        // the header bytes that follow it, so build back-to-front).
+        let mut tail: Vec<u8> = Vec::new();
+        // Final type comes last before payload.
+        for (i, seg) in route.segments.iter().enumerate().rev() {
+            let mut group: Vec<u8> = seg
+                .hops
+                .iter()
+                .map(|h| route_byte(h.out_port))
+                .collect();
+            if i == last {
+                group.extend_from_slice(&TYPE_GM.to_be_bytes());
+            }
+            if i > 0 {
+                // Prefix the ITB tag + remaining-length for this segment.
+                let remaining = (group.len() + tail.len()) as u8;
+                let mut pre = TYPE_ITB.to_be_bytes().to_vec();
+                pre.push(remaining);
+                pre.extend(group);
+                group = pre;
+            }
+            let mut combined = group;
+            combined.extend(std::mem::take(&mut tail));
+            tail = combined;
+        }
+        bytes.extend(tail);
+        Header { bytes }
+    }
+
+    /// The raw header bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Header length in bytes (this rides on the wire, so it contributes to
+    /// transfer time).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the header is empty (never true for a valid route).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Strip the leading route byte — what a switch does when it routes the
+    /// packet. Returns the output port.
+    ///
+    /// # Panics
+    /// Panics if the leading byte is not a route byte (routing a packet that
+    /// has already arrived is a model bug).
+    pub fn consume_route_byte(&mut self) -> PortIx {
+        let b = self.bytes[0];
+        let port = decode_route_byte(b).expect("leading byte must be a route byte");
+        self.bytes.remove(0);
+        port
+    }
+
+    /// Peek the packet type in the leading two bytes, if the header
+    /// currently starts with a type (i.e. the packet is at a NIC).
+    pub fn packet_type(&self) -> Option<u16> {
+        if self.bytes.len() < 2 {
+            return None;
+        }
+        if decode_route_byte(self.bytes[0]).is_some() {
+            return None;
+        }
+        Some(u16::from_be_bytes([self.bytes[0], self.bytes[1]]))
+    }
+
+    /// At an in-transit NIC: strip the `ITB | Length` group, leaving the
+    /// next segment's route bytes at the front. Returns the remaining header
+    /// length announced by the Length byte.
+    ///
+    /// # Panics
+    /// Panics if the header does not start with [`TYPE_ITB`].
+    pub fn strip_itb_group(&mut self) -> u8 {
+        assert_eq!(self.packet_type(), Some(TYPE_ITB), "not an ITB packet");
+        let len = self.bytes[2];
+        self.bytes.drain(..3);
+        debug_assert_eq!(self.bytes.len(), len as usize);
+        len
+    }
+}
+
+/// Decoded view of a full header: the per-segment port lists. Used by tests
+/// and by the mapper's route-table verifier.
+pub fn decode_segments(header: &Header) -> Option<Vec<Vec<PortIx>>> {
+    let mut segs = Vec::new();
+    let mut cur = Vec::new();
+    let mut i = 0;
+    let b = &header.bytes;
+    while i < b.len() {
+        if let Some(p) = decode_route_byte(b[i]) {
+            cur.push(p);
+            i += 1;
+            continue;
+        }
+        if i + 1 >= b.len() {
+            return None;
+        }
+        let ty = u16::from_be_bytes([b[i], b[i + 1]]);
+        match ty {
+            TYPE_ITB => {
+                if i + 2 >= b.len() {
+                    return None;
+                }
+                segs.push(std::mem::take(&mut cur));
+                i += 3; // tag + length byte
+            }
+            TYPE_GM | TYPE_MAP => {
+                segs.push(std::mem::take(&mut cur));
+                return if i + 2 == b.len() { Some(segs) } else { None };
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{Hop, Segment, SourceRoute};
+    use itb_topo::{HostId, SwitchId};
+
+    fn hops(ps: &[u8]) -> Vec<Hop> {
+        ps.iter()
+            .enumerate()
+            .map(|(i, &p)| Hop::new(SwitchId(i as u16), p))
+            .collect()
+    }
+
+    #[test]
+    fn single_segment_layout() {
+        let r = SourceRoute::direct(HostId(0), HostId(1), hops(&[3, 1, 2]));
+        let h = Header::encode(&r);
+        assert_eq!(
+            h.as_bytes(),
+            &[
+                ROUTE_TAG | 3,
+                ROUTE_TAG | 1,
+                ROUTE_TAG | 2,
+                0x00,
+                0x0D // TYPE_GM
+            ]
+        );
+        assert_eq!(h.len(), 5);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn two_segment_layout_matches_fig3b() {
+        let r = SourceRoute {
+            src: HostId(0),
+            dst: HostId(2),
+            segments: vec![
+                Segment {
+                    from: HostId(0),
+                    to: HostId(1),
+                    hops: hops(&[4, 5]),
+                },
+                Segment {
+                    from: HostId(1),
+                    to: HostId(2),
+                    hops: hops(&[6]),
+                },
+            ],
+        };
+        let h = Header::encode(&r);
+        // Path1(2) | ITB(2) | Len(1) | Path2(1) | Type(2)
+        assert_eq!(h.len(), 8);
+        let b = h.as_bytes();
+        assert_eq!(b[0], ROUTE_TAG | 4);
+        assert_eq!(b[1], ROUTE_TAG | 5);
+        assert_eq!(u16::from_be_bytes([b[2], b[3]]), TYPE_ITB);
+        assert_eq!(b[4], 3); // remaining: 1 route byte + 2 type bytes
+        assert_eq!(b[5], ROUTE_TAG | 6);
+        assert_eq!(u16::from_be_bytes([b[6], b[7]]), TYPE_GM);
+    }
+
+    #[test]
+    fn switch_and_nic_consumption_walk() {
+        let r = SourceRoute {
+            src: HostId(0),
+            dst: HostId(2),
+            segments: vec![
+                Segment {
+                    from: HostId(0),
+                    to: HostId(1),
+                    hops: hops(&[4, 5]),
+                },
+                Segment {
+                    from: HostId(1),
+                    to: HostId(2),
+                    hops: hops(&[6]),
+                },
+            ],
+        };
+        let mut h = Header::encode(&r);
+        // Two switches strip their route bytes.
+        assert_eq!(h.consume_route_byte(), PortIx(4));
+        assert_eq!(h.packet_type(), None, "still route bytes in front");
+        assert_eq!(h.consume_route_byte(), PortIx(5));
+        // At the in-transit NIC the type reads ITB.
+        assert_eq!(h.packet_type(), Some(TYPE_ITB));
+        let remaining = h.strip_itb_group();
+        assert_eq!(remaining, 3);
+        // Re-injected: next switch routes on port 6.
+        assert_eq!(h.consume_route_byte(), PortIx(6));
+        // Destination NIC sees a normal GM packet.
+        assert_eq!(h.packet_type(), Some(TYPE_GM));
+    }
+
+    #[test]
+    fn decode_roundtrip_multi_itb() {
+        let r = SourceRoute {
+            src: HostId(0),
+            dst: HostId(3),
+            segments: vec![
+                Segment {
+                    from: HostId(0),
+                    to: HostId(1),
+                    hops: hops(&[1]),
+                },
+                Segment {
+                    from: HostId(1),
+                    to: HostId(2),
+                    hops: hops(&[2, 3]),
+                },
+                Segment {
+                    from: HostId(2),
+                    to: HostId(3),
+                    hops: hops(&[4, 5, 6]),
+                },
+            ],
+        };
+        let h = Header::encode(&r);
+        let segs = decode_segments(&h).expect("valid header decodes");
+        assert_eq!(
+            segs,
+            vec![
+                vec![PortIx(1)],
+                vec![PortIx(2), PortIx(3)],
+                vec![PortIx(4), PortIx(5), PortIx(6)],
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_header_fails_decode() {
+        let r = SourceRoute::direct(HostId(0), HostId(1), hops(&[1, 2]));
+        let h = Header::encode(&r);
+        let cut = Header {
+            bytes: h.as_bytes()[..h.len() - 1].to_vec(),
+        };
+        assert!(decode_segments(&cut).is_none());
+    }
+
+    #[test]
+    fn route_byte_roundtrip() {
+        for p in 0..16u8 {
+            assert_eq!(decode_route_byte(route_byte(PortIx(p))), Some(PortIx(p)));
+        }
+        assert_eq!(decode_route_byte(0x00), None);
+        assert_eq!(decode_route_byte(0x0D), None);
+    }
+
+    #[test]
+    fn crc8_known_values() {
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc8(&[0x00]), 0);
+        // CRC-8/SMBus check value for "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        // Single-bit corruption changes the CRC.
+        let a = crc8(&[1, 2, 3, 4]);
+        let b = crc8(&[1, 2, 3, 5]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn type_constants_are_distinct_and_not_route_bytes() {
+        for ty in [TYPE_GM, TYPE_ITB, TYPE_MAP] {
+            let hi = (ty >> 8) as u8;
+            assert!(
+                decode_route_byte(hi).is_none(),
+                "type {ty:#06x} high byte collides with route bytes"
+            );
+        }
+        assert_ne!(TYPE_GM, TYPE_ITB);
+        assert_ne!(TYPE_GM, TYPE_MAP);
+        assert_ne!(TYPE_ITB, TYPE_MAP);
+    }
+}

@@ -1,0 +1,159 @@
+//! The event-loop contract.
+//!
+//! The engine is intentionally minimal: a [`World`] owns all mutable model
+//! state and interprets events; the loop here pops events in time order and
+//! hands them to the world together with the queue so handlers can schedule
+//! follow-ups. Layer crates (`itb-net`, `itb-nic`, …) define their own event
+//! types and the integrating crate (`itb-gm`) wraps them in one union enum.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation world: all model state plus the event interpreter.
+pub trait World {
+    /// The union event type dispatched by this world.
+    type Event;
+
+    /// Interpret one event. `now` is the event's timestamp; follow-up events
+    /// go back into `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Run until the queue drains or the next event would fire after `until`.
+///
+/// Returns the number of events dispatched by this call. Events stamped
+/// exactly at `until` are still dispatched.
+pub fn run_until<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+) -> u64 {
+    let mut dispatched = 0;
+    while let Some(t) = queue.peek_time() {
+        if t > until {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked entry vanished");
+        world.handle(now, ev, queue);
+        dispatched += 1;
+    }
+    dispatched
+}
+
+/// Run for `span` past the current queue time. Convenience over [`run_until`].
+pub fn run_for<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    span: crate::time::SimDuration,
+) -> u64 {
+    let until = queue.now() + span;
+    run_until(world, queue, until)
+}
+
+/// Run while `keep_going(world)` holds and events remain.
+///
+/// The predicate is checked *before* each dispatch, so the world is never
+/// advanced past the first state where the predicate fails. Returns the
+/// number of events dispatched.
+pub fn run_while<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    mut keep_going: impl FnMut(&W) -> bool,
+) -> u64 {
+    let mut dispatched = 0;
+    while keep_going(world) {
+        let Some((now, ev)) = queue.pop() else { break };
+        world.handle(now, ev, queue);
+        dispatched += 1;
+    }
+    dispatched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A toy world: each event is a delay to re-schedule itself with, and the
+    /// world counts dispatches.
+    struct Ticker {
+        fired: Vec<SimTime>,
+        stop_after: usize,
+    }
+
+    impl World for Ticker {
+        type Event = SimDuration;
+        fn handle(&mut self, now: SimTime, ev: SimDuration, q: &mut EventQueue<SimDuration>) {
+            self.fired.push(now);
+            if self.fired.len() < self.stop_after {
+                q.schedule(now + ev, ev);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut w = Ticker {
+            fired: vec![],
+            stop_after: usize::MAX,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), SimDuration::from_ns(10));
+        let n = run_until(&mut w, &mut q, SimTime::from_ns(45));
+        // Fires at 10, 20, 30, 40; event at 50 remains queued.
+        assert_eq!(n, 4);
+        assert_eq!(w.fired.last(), Some(&SimTime::from_ns(40)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(50)));
+    }
+
+    #[test]
+    fn run_until_inclusive_at_horizon() {
+        let mut w = Ticker {
+            fired: vec![],
+            stop_after: 1,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), SimDuration::from_ns(1));
+        let n = run_until(&mut w, &mut q, SimTime::from_ns(30));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut w = Ticker {
+            fired: vec![],
+            stop_after: usize::MAX,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), SimDuration::from_ns(1));
+        run_while(&mut w, &mut q, |w| w.fired.len() < 7);
+        assert_eq!(w.fired.len(), 7);
+    }
+
+    #[test]
+    fn run_for_advances_relative_to_queue_clock() {
+        let mut w = Ticker {
+            fired: vec![],
+            stop_after: usize::MAX,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), SimDuration::from_ns(5));
+        run_until(&mut w, &mut q, SimTime::from_ns(5));
+        let n = run_for(&mut w, &mut q, SimDuration::from_ns(10));
+        // queue.now()==5; runs events at 10 and 15.
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn drained_queue_terminates() {
+        let mut w = Ticker {
+            fired: vec![],
+            stop_after: 3,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), SimDuration::from_ns(2));
+        let n = run_until(&mut w, &mut q, SimTime::MAX);
+        assert_eq!(n, 3);
+        assert!(q.is_empty());
+    }
+}

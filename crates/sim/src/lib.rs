@@ -1,0 +1,33 @@
+//! # itb-sim — deterministic discrete-event simulation engine
+//!
+//! Foundation crate for the reproduction of *"A First Implementation of
+//! In-Transit Buffers on Myrinet GM Software"* (IPPS 2001). Every other crate
+//! in the workspace models a physical or firmware component of a Myrinet
+//! cluster; this crate provides the machinery they share:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer picosecond simulation clock.
+//!   Picoseconds keep link byte-times (6.25 ns at 160 MB/s) and LANai cycle
+//!   times (15.15 ns at 66 MHz) exact, with headroom for multi-second runs.
+//! * [`EventQueue`] — a binary-heap calendar with a deterministic FIFO
+//!   tie-break for simultaneous events, so identical seeds yield identical
+//!   runs bit for bit.
+//! * [`World`] / [`run_until`] — the minimal event-loop contract used by the
+//!   integrated cluster simulator in `itb-gm`.
+//! * [`stats`] — streaming accumulators, histograms and (x, y) series used by
+//!   the experiment harness.
+//! * [`rng`] — a small deterministic PRNG (xoshiro256**) so simulation
+//!   reproducibility does not depend on the `rand` crate's internals.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{run_for, run_until, run_while, World};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Bandwidth, SimDuration, SimTime};

@@ -1,0 +1,523 @@
+//! Streaming statistics for experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Welford-style streaming accumulator: count, mean, variance, min, max.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Accum {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accum {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Accum {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in nanoseconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Unbiased sample standard deviation (0 for < 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+    /// Smallest sample (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+    /// Largest sample (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Accum) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram with overflow bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `nbins` bins of `width` starting at `lo`.
+    pub fn new(lo: f64, width: f64, nbins: usize) -> Self {
+        assert!(width > 0.0 && nbins > 0);
+        Histogram {
+            lo,
+            width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+    /// Samples below range / above range / total.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.underflow, self.overflow, self.total)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bin midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return self.lo;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.lo + (i as f64 + 0.5) * self.width;
+            }
+        }
+        self.lo + self.width * self.bins.len() as f64
+    }
+}
+
+/// A named (x, y) series — the unit of figure reproduction. Each paper curve
+/// ("Original MCP code", "UD-ITB", …) becomes one `Series`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label as it would appear in the figure legend.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series with a legend label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y value at x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// Pointwise difference `self − other` at shared x values.
+    pub fn minus(&self, other: &Series, label: impl Into<String>) -> Series {
+        let mut out = Series::new(label);
+        for &(x, y) in &self.points {
+            if let Some(oy) = other.y_at(x) {
+                out.push(x, y - oy);
+            }
+        }
+        out
+    }
+
+    /// Mean of the y values.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Maximum of the y values.
+    pub fn max_y(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Streaming quantile estimator — the P² (piecewise-parabolic) algorithm of
+/// Jain & Chlamtac. Tracks one quantile in O(1) memory without storing
+/// samples; used for tail latencies (p99) in the loaded-network sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn add(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the cell k containing x and adjust extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (1..=4)
+                .find(|&i| x < self.heights[i])
+                .expect("x within extremes")
+                - 1
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust interior markers with the parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let h = self.parabolic(i, d);
+                let h = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (pm, p, pp) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (pp - pm)
+            * ((p - pm + d) * (hp - h) / (pp - p) + (pp - p - d) * (h - hm) / (p - pm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (exact for < 5 samples; NaN if empty).
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n as usize].to_vec();
+                v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let ix = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize) - 1;
+                v[ix]
+            }
+            _ => self.heights[2],
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Throughput meter: counts payload bytes delivered over a window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateMeter {
+    bytes: u64,
+    messages: u64,
+}
+
+impl RateMeter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Record one delivered message of `bytes` payload bytes.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.messages += 1;
+    }
+    /// Total payload bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+    /// Rate in bytes per second over `window`.
+    pub fn bytes_per_sec(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / (window.as_ps() as f64 / 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_basic_moments() {
+        let mut a = Accum::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.stddev() - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+    }
+
+    #[test]
+    fn accum_empty_is_safe() {
+        let a = Accum::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.stddev(), 0.0);
+        assert!(a.min().is_nan());
+    }
+
+    #[test]
+    fn accum_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Accum::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Accum::new();
+        let mut right = Accum::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 10.0); // 0.0 .. 9.9 uniformly
+        }
+        assert_eq!(h.bin(0), 10);
+        let (u, o, t) = h.counts();
+        assert_eq!((u, o, t), (0, 0, 100));
+        let med = h.quantile(0.5);
+        assert!((med - 4.5).abs() <= 0.5, "median={med}");
+        h.add(-1.0);
+        h.add(100.0);
+        let (u, o, _) = h.counts();
+        assert_eq!((u, o), (1, 1));
+    }
+
+    #[test]
+    fn series_difference() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for x in 0..5 {
+            a.push(x as f64, 2.0 * x as f64 + 1.0);
+            b.push(x as f64, 2.0 * x as f64);
+        }
+        let d = a.minus(&b, "a-b");
+        assert_eq!(d.points.len(), 5);
+        assert!(d.points.iter().all(|&(_, y)| (y - 1.0).abs() < 1e-12));
+        assert!((d.mean_y() - 1.0).abs() < 1e-12);
+        assert!((a.max_y() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert!(q.estimate().is_nan());
+        q.add(10.0);
+        assert_eq!(q.estimate(), 10.0);
+        q.add(2.0);
+        q.add(7.0);
+        // Median of {2, 7, 10} = 7.
+        assert_eq!(q.estimate(), 7.0);
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform stream over (0, 100).
+        let mut x = 37.0;
+        for _ in 0..50_000 {
+            x = (x * 7.13 + 11.7) % 100.0;
+            q.add(x);
+        }
+        let est = q.estimate();
+        assert!((est - 50.0).abs() < 3.0, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_p99_of_skewed_stream() {
+        let mut q = P2Quantile::new(0.99);
+        // 99% small values, 1% = 1000.
+        for i in 0..100_000u32 {
+            if i % 100 == 0 {
+                q.add(1000.0);
+            } else {
+                q.add((i % 97) as f64 / 10.0);
+            }
+        }
+        let est = q.estimate();
+        assert!(est > 9.0, "p99 must sit near the tail boundary: {est}");
+        assert!(est <= 1000.0);
+    }
+
+    #[test]
+    fn p2_monotone_under_sorted_input() {
+        let mut q = P2Quantile::new(0.9);
+        for i in 0..10_000 {
+            q.add(f64::from(i));
+        }
+        let est = q.estimate();
+        assert!((est - 9000.0).abs() < 250.0, "p90 of 0..10000: {est}");
+    }
+
+    #[test]
+    fn rate_meter() {
+        let mut m = RateMeter::new();
+        m.record(1000);
+        m.record(1000);
+        assert_eq!(m.bytes(), 2000);
+        assert_eq!(m.messages(), 2);
+        let bps = m.bytes_per_sec(SimDuration::from_us(1));
+        assert!((bps - 2e9).abs() < 1.0, "bps={bps}");
+        assert_eq!(m.bytes_per_sec(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Lightweight event tracing.
+//!
+//! A bounded ring buffer of `(time, tag, detail)` records that components can
+//! write into when tracing is enabled. Used by tests to assert on causal
+//! orderings (e.g. "Early Recv fired before the send DMA was programmed")
+//! without coupling assertions to internal struct layouts.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the traced action happened.
+    pub time: SimTime,
+    /// Short machine-matchable tag, e.g. `"mcp.early_recv"`.
+    pub tag: &'static str,
+    /// Free-form detail (packet id, port number, …).
+    pub detail: String,
+}
+
+/// A bounded trace sink. Disabled by default: `record` is a no-op until
+/// [`Trace::enable`] is called, so hot paths pay only a branch.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl Trace {
+    /// A disabled trace with room for `cap` records.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            enabled: false,
+            cap,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Start recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stop recording (records are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one entry; drops (and counts) once the buffer is full.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord {
+            time,
+            tag,
+            detail: detail(),
+        });
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// First record with a given tag.
+    pub fn first(&self, tag: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.tag == tag)
+    }
+
+    /// Number of records dropped because the buffer filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all records (keeps enable state).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(SimTime::from_ns(1), "x", || "never".into());
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_in_order() {
+        let mut t = Trace::new(8);
+        t.enable();
+        t.record(SimTime::from_ns(1), "a", || "1".into());
+        t.record(SimTime::from_ns(2), "b", || "2".into());
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.first("b").unwrap().time, SimTime::from_ns(2));
+        assert_eq!(t.with_tag("a").count(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut t = Trace::new(2);
+        t.enable();
+        for i in 0..5 {
+            t.record(SimTime::from_ns(i), "t", String::new);
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.records().is_empty());
+        assert!(t.is_enabled());
+    }
+}

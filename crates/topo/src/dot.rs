@@ -1,0 +1,100 @@
+//! Graphviz DOT export for debugging topologies.
+
+use crate::graph::Topology;
+use crate::ids::Node;
+
+/// Render the topology as a Graphviz `graph` for inspection.
+///
+/// Switches render as boxes, hosts as ellipses; link labels carry the port
+/// numbers at each end.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph cluster {\n  overlap=false;\n");
+    for s in topo.switch_ids() {
+        out.push_str(&format!("  \"{s}\" [shape=box];\n"));
+    }
+    for h in topo.host_ids() {
+        out.push_str(&format!("  \"{h}\" [shape=ellipse];\n"));
+    }
+    for lid in topo.link_ids() {
+        let l = topo.link(lid);
+        out.push_str(&format!(
+            "  \"{}\" -- \"{}\" [label=\"{}:{}\"];\n",
+            name(l.a.node),
+            name(l.b.node),
+            l.a.port,
+            l.b.port,
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn name(n: Node) -> String {
+    n.to_string()
+}
+
+/// Render the topology with a set of links highlighted (e.g. the links a
+/// route traverses), for visual debugging of route computations.
+pub fn to_dot_highlighted(topo: &Topology, highlight: &[crate::LinkId]) -> String {
+    let hot: std::collections::HashSet<u32> = highlight.iter().map(|l| l.0).collect();
+    let mut out = String::from("graph cluster {\n  overlap=false;\n");
+    for s in topo.switch_ids() {
+        out.push_str(&format!("  \"{s}\" [shape=box];\n"));
+    }
+    for h in topo.host_ids() {
+        out.push_str(&format!("  \"{h}\" [shape=ellipse];\n"));
+    }
+    for lid in topo.link_ids() {
+        let l = topo.link(lid);
+        let style = if hot.contains(&lid.0) {
+            " color=red penwidth=2"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  \"{}\" -- \"{}\" [label=\"{}:{}\"{style}];\n",
+            name(l.a.node),
+            name(l.b.node),
+            l.a.port,
+            l.b.port,
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::fig6_testbed;
+
+    #[test]
+    fn dot_contains_all_entities() {
+        let tb = fig6_testbed();
+        let dot = to_dot(&tb.topo);
+        assert!(dot.starts_with("graph cluster {"));
+        assert!(dot.contains("\"sw0\" [shape=box]"));
+        assert!(dot.contains("\"sw1\" [shape=box]"));
+        assert!(dot.contains("\"host0\" [shape=ellipse]"));
+        assert!(dot.contains("\"host2\" [shape=ellipse]"));
+        // 6 links → 6 edges.
+        assert_eq!(dot.matches(" -- ").count(), 6);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlight_marks_selected_links() {
+        let tb = fig6_testbed();
+        let dot = to_dot_highlighted(&tb.topo, &[tb.cable_a]);
+        assert_eq!(dot.matches("color=red").count(), 1);
+        let none = to_dot_highlighted(&tb.topo, &[]);
+        assert!(!none.contains("color=red"));
+    }
+
+    #[test]
+    fn self_loop_renders() {
+        let tb = fig6_testbed();
+        let dot = to_dot(&tb.topo);
+        assert!(dot.contains("\"sw1\" -- \"sw1\""));
+    }
+}

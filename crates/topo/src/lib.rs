@@ -1,0 +1,27 @@
+//! # itb-topo — Myrinet cluster topologies
+//!
+//! Models the physical wiring layer of the paper's testbed and of the larger
+//! irregular networks its motivation section refers to:
+//!
+//! * [`Topology`] — switches with typed ports (SAN/LAN), single-port hosts,
+//!   and point-to-point links;
+//! * [`builders`] — the Figure 6 three-host/two-switch testbed, plus chains,
+//!   rings and the random irregular generator used by the loaded-network
+//!   experiments;
+//! * [`spanning`] — BFS spanning trees over the switch graph;
+//! * [`updown`] — the up\*/down\* link orientation (up end = closer to the
+//!   root; ties broken by lower switch id) that the routing crate enforces.
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod spanning;
+pub mod updown;
+
+pub use graph::{Endpoint, Link, Topology};
+pub use ids::{HostId, LinkId, Node, PortIx, PortKind, SwitchId};
+pub use spanning::SpanningTree;
+pub use updown::UpDown;

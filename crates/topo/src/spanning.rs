@@ -1,0 +1,224 @@
+//! BFS spanning trees over the switch graph.
+//!
+//! Up\*/down\* routing (Autonet, Myrinet) starts from a breadth-first
+//! spanning tree rooted at a chosen switch; link directions are derived from
+//! tree depth. The mapper in GM computes this from its network map; here we
+//! compute it directly from the [`Topology`].
+
+use crate::graph::Topology;
+use crate::ids::{LinkId, SwitchId};
+use std::collections::VecDeque;
+
+/// How the mapper chooses the spanning-tree root. The root placement shapes
+/// the whole up\*/down\* orientation: a central, well-connected root keeps
+/// tree paths short, while a peripheral root worsens the detours and the
+/// traffic funnel the ITB mechanism exists to fix — making this a natural
+/// ablation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// The switch with the most switch-to-switch cables (ties: lowest id) —
+    /// the sensible default.
+    HighestDegree,
+    /// The lowest-numbered switch, regardless of connectivity (what naive
+    /// mappers do).
+    LowestId,
+    /// The *least*-connected switch (ties: highest id) — the adversarial
+    /// placement, used to bound how bad up\*/down\* can get.
+    WorstCase,
+    /// A specific switch.
+    Explicit(SwitchId),
+}
+
+impl RootPolicy {
+    /// Resolve the policy to a concrete switch.
+    pub fn pick(self, topo: &Topology) -> SwitchId {
+        match self {
+            RootPolicy::HighestDegree => topo
+                .switch_ids()
+                .max_by_key(|&s| {
+                    (
+                        topo.switch_neighbors(s).count(),
+                        usize::MAX - s.idx(), // prefer lower ids on ties
+                    )
+                })
+                .expect("topology has no switches"),
+            RootPolicy::LowestId => SwitchId(0),
+            RootPolicy::WorstCase => topo
+                .switch_ids()
+                .min_by_key(|&s| (topo.switch_neighbors(s).count(), usize::MAX - s.idx()))
+                .expect("topology has no switches"),
+            RootPolicy::Explicit(s) => s,
+        }
+    }
+}
+
+/// A breadth-first spanning tree over the switch graph.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    root: SwitchId,
+    /// BFS depth per switch (root = 0).
+    depth: Vec<u32>,
+    /// Tree parent per switch (root maps to itself).
+    parent: Vec<SwitchId>,
+    /// The link to the parent, `None` for the root.
+    parent_link: Vec<Option<LinkId>>,
+}
+
+impl SpanningTree {
+    /// Compute the BFS tree rooted at `root`.
+    ///
+    /// Neighbour exploration follows ascending port order, which — together
+    /// with the deterministic topology builders — makes the tree (and hence
+    /// the up\*/down\* orientation) a pure function of the wiring.
+    ///
+    /// # Panics
+    /// Panics if some switch is unreachable from `root`; validate the
+    /// topology first.
+    pub fn compute(topo: &Topology, root: SwitchId) -> Self {
+        let n = topo.num_switches();
+        assert!(root.idx() < n, "root {root} out of range");
+        let mut depth = vec![u32::MAX; n];
+        let mut parent = vec![root; n];
+        let mut parent_link = vec![None; n];
+        let mut queue = VecDeque::new();
+        depth[root.idx()] = 0;
+        queue.push_back(root);
+        while let Some(s) = queue.pop_front() {
+            for (_, link, nbr) in topo.switch_neighbors(s) {
+                if depth[nbr.idx()] == u32::MAX {
+                    depth[nbr.idx()] = depth[s.idx()] + 1;
+                    parent[nbr.idx()] = s;
+                    parent_link[nbr.idx()] = Some(link);
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        assert!(
+            depth.iter().all(|&d| d != u32::MAX),
+            "switch graph not connected; run Topology::validate first"
+        );
+        SpanningTree {
+            root,
+            depth,
+            parent,
+            parent_link,
+        }
+    }
+
+    /// Pick the conventional root — the switch of highest degree (most
+    /// switch-to-switch cables), ties to the lowest id — and build the tree.
+    pub fn compute_default(topo: &Topology) -> Self {
+        Self::compute(topo, RootPolicy::HighestDegree.pick(topo))
+    }
+
+    /// Build the tree with an explicit root policy.
+    pub fn compute_with_policy(topo: &Topology, policy: RootPolicy) -> Self {
+        Self::compute(topo, policy.pick(topo))
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+    /// BFS depth of a switch (root = 0).
+    pub fn depth(&self, s: SwitchId) -> u32 {
+        self.depth[s.idx()]
+    }
+    /// Tree parent (root returns itself).
+    pub fn parent(&self, s: SwitchId) -> SwitchId {
+        self.parent[s.idx()]
+    }
+    /// Link to the tree parent (`None` at the root).
+    pub fn parent_link(&self, s: SwitchId) -> Option<LinkId> {
+        self.parent_link[s.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itb_sim::SimDuration;
+
+    /// A 4-switch diamond: 0-1, 0-2, 1-3, 2-3.
+    fn diamond() -> Topology {
+        let mut t = Topology::new();
+        let s: Vec<_> = (0..4).map(|_| t.add_switch_uniform(4)).collect();
+        let d = SimDuration::from_ns(10);
+        t.connect_switches(s[0], 0, s[1], 0, d).unwrap();
+        t.connect_switches(s[0], 1, s[2], 0, d).unwrap();
+        t.connect_switches(s[1], 1, s[3], 0, d).unwrap();
+        t.connect_switches(s[2], 1, s[3], 1, d).unwrap();
+        t
+    }
+
+    #[test]
+    fn bfs_depths() {
+        let t = diamond();
+        let tree = SpanningTree::compute(&t, SwitchId(0));
+        assert_eq!(tree.root(), SwitchId(0));
+        assert_eq!(tree.depth(SwitchId(0)), 0);
+        assert_eq!(tree.depth(SwitchId(1)), 1);
+        assert_eq!(tree.depth(SwitchId(2)), 1);
+        assert_eq!(tree.depth(SwitchId(3)), 2);
+    }
+
+    #[test]
+    fn parents_follow_port_order() {
+        let t = diamond();
+        let tree = SpanningTree::compute(&t, SwitchId(0));
+        // Switch 3 is discovered from switch 1 (explored before 2).
+        assert_eq!(tree.parent(SwitchId(3)), SwitchId(1));
+        assert_eq!(tree.parent(SwitchId(0)), SwitchId(0));
+        assert!(tree.parent_link(SwitchId(0)).is_none());
+        assert!(tree.parent_link(SwitchId(3)).is_some());
+    }
+
+    #[test]
+    fn default_root_is_highest_degree() {
+        // Star: switch 0 center with 3 leaves → center has degree 3.
+        let mut t = Topology::new();
+        let c = t.add_switch_uniform(8);
+        for _ in 0..3 {
+            let leaf = t.add_switch_uniform(4);
+            let port = t
+                .switch_ports(c)
+                .find(|(_, _, l)| l.is_none())
+                .unwrap()
+                .0;
+            t.connect_switches(c, port.0, leaf, 0, SimDuration::ZERO)
+                .unwrap();
+        }
+        let tree = SpanningTree::compute_default(&t);
+        assert_eq!(tree.root(), c);
+    }
+
+    #[test]
+    fn default_root_ties_break_low() {
+        // Two switches, one cable: equal degree → lower id wins.
+        let mut t = Topology::new();
+        let s0 = t.add_switch_uniform(2);
+        let s1 = t.add_switch_uniform(2);
+        t.connect_switches(s0, 0, s1, 0, SimDuration::ZERO).unwrap();
+        assert_eq!(SpanningTree::compute_default(&t).root(), s0);
+    }
+
+    #[test]
+    fn determinism() {
+        let t = diamond();
+        let a = SpanningTree::compute(&t, SwitchId(0));
+        let b = SpanningTree::compute(&t, SwitchId(0));
+        for s in t.switch_ids() {
+            assert_eq!(a.parent(s), b.parent(s));
+            assert_eq!(a.depth(s), b.depth(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_panics() {
+        let mut t = Topology::new();
+        t.add_switch_uniform(2);
+        t.add_switch_uniform(2);
+        SpanningTree::compute(&t, SwitchId(0));
+    }
+}

@@ -1,0 +1,283 @@
+//! Up\*/down\* link orientation.
+//!
+//! Each switch-to-switch link gets an *up* end: (1) the end whose switch is
+//! closer to the spanning-tree root; (2) on equal depth, the end whose switch
+//! has the lower id. Legal up\*/down\* paths never traverse an *up*-direction
+//! link after a *down*-direction one, which removes every cycle from the
+//! channel-dependency graph (each network cycle contains at least one up link
+//! and one down link).
+//!
+//! For a self-loop cable (both ends on the same switch, as in the paper's
+//! Figure 6 loop at switch 2) we orient by port number: the lower-numbered
+//! port is the up end. Any consistent choice preserves deadlock freedom
+//! because a loop cable cannot appear in a (simple) switch-level cycle.
+
+use crate::graph::Topology;
+use crate::ids::{LinkId, SwitchId};
+use crate::spanning::SpanningTree;
+
+/// The traversal direction of one link hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward the link's up end (toward the root).
+    Up,
+    /// Away from the link's up end.
+    Down,
+}
+
+impl Direction {
+    /// Whether `next` after `self` violates the up\*/down\* rule.
+    #[inline]
+    pub fn forbids(self, next: Direction) -> bool {
+        self == Direction::Down && next == Direction::Up
+    }
+}
+
+/// The complete orientation: for every switch-to-switch link, which endpoint
+/// switch is the up end.
+#[derive(Debug, Clone)]
+pub struct UpDown {
+    tree: SpanningTree,
+    /// `up_switch[link] == Some(s)` when `s` is the up end; `None` for
+    /// host links (no orientation).
+    up_end: Vec<Option<UpEnd>>,
+}
+
+/// Identifies the up end of a link precisely enough to orient self-loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct UpEnd {
+    switch: SwitchId,
+    port: crate::ids::PortIx,
+}
+
+impl UpDown {
+    /// Orient every link of `topo` using `tree`.
+    pub fn compute(topo: &Topology, tree: SpanningTree) -> Self {
+        let mut up_end = Vec::with_capacity(topo.num_links());
+        for lid in topo.link_ids() {
+            let link = topo.link(lid);
+            let up = match (link.a.node.as_switch(), link.b.node.as_switch()) {
+                (Some(sa), Some(sb)) => {
+                    let chosen = if sa == sb {
+                        // Self-loop: lower port is the up end.
+                        if link.a.port <= link.b.port {
+                            link.a
+                        } else {
+                            link.b
+                        }
+                    } else {
+                        let (da, db) = (tree.depth(sa), tree.depth(sb));
+                        if da < db || (da == db && sa < sb) {
+                            link.a
+                        } else {
+                            link.b
+                        }
+                    };
+                    Some(UpEnd {
+                        switch: chosen.node.as_switch().unwrap(),
+                        port: chosen.port,
+                    })
+                }
+                _ => None, // host link
+            };
+            up_end.push(up);
+        }
+        UpDown { tree, up_end }
+    }
+
+    /// Convenience: default spanning tree, then orient.
+    pub fn compute_default(topo: &Topology) -> Self {
+        Self::compute(topo, SpanningTree::compute_default(topo))
+    }
+
+    /// The spanning tree used for orientation.
+    pub fn tree(&self) -> &SpanningTree {
+        &self.tree
+    }
+
+    /// Direction of traversing `link` out of switch `from` through `out_port`.
+    ///
+    /// The port matters only for self-loop cables; for ordinary links any
+    /// port value is accepted.
+    ///
+    /// # Panics
+    /// Panics if `link` is a host link (host links have no direction) or
+    /// `from` is not on the link.
+    pub fn direction_from(
+        &self,
+        topo: &Topology,
+        link: LinkId,
+        from: SwitchId,
+        out_port: crate::ids::PortIx,
+    ) -> Direction {
+        let up = self.up_end[link.idx()].expect("host links have no up/down direction");
+        let l = topo.link(link);
+        debug_assert!(l.touches(crate::ids::Node::Switch(from)));
+        if l.is_self_loop() {
+            // Leaving via the up-end port means travelling *away* from the
+            // up end (the worm exits that port and re-enters the other), so
+            // the traversal is Down; leaving via the other port is Up.
+            if up.port == out_port {
+                Direction::Down
+            } else {
+                Direction::Up
+            }
+        } else if up.switch == from {
+            Direction::Down
+        } else {
+            Direction::Up
+        }
+    }
+
+    /// The switch at the up end (for ordinary switch-switch links).
+    pub fn up_switch(&self, link: LinkId) -> Option<SwitchId> {
+        self.up_end[link.idx()].map(|u| u.switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PortIx;
+    use itb_sim::SimDuration;
+
+    /// Figure-1-style network: 7 switches, irregular.
+    /// Edges: 0-1, 0-2, 1-3, 2-3, 2-4, 3-5, 4-6, 5-6, 1-6.
+    fn fig1ish() -> Topology {
+        let mut t = Topology::new();
+        let s: Vec<_> = (0..7).map(|_| t.add_switch_uniform(8)).collect();
+        let d = SimDuration::from_ns(10);
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (1, 6),
+        ];
+        let mut next_port = [0u8; 7];
+        for &(a, b) in &edges {
+            let (pa, pb) = (next_port[a], next_port[b]);
+            next_port[a] += 1;
+            next_port[b] += 1;
+            t.connect_switches(s[a], pa, s[b], pb, d).unwrap();
+        }
+        t
+    }
+
+    fn dir(
+        ud: &UpDown,
+        topo: &Topology,
+        link: LinkId,
+        from: SwitchId,
+    ) -> Direction {
+        let port = topo.out_port(from, link);
+        ud.direction_from(topo, link, from, port)
+    }
+
+    #[test]
+    fn tree_edges_point_up_toward_root() {
+        let topo = fig1ish();
+        let tree = SpanningTree::compute(&topo, SwitchId(0));
+        let ud = UpDown::compute(&topo, tree);
+        // Link 0 connects 0(d0)-1(d1): up end must be switch 0.
+        assert_eq!(ud.up_switch(LinkId(0)), Some(SwitchId(0)));
+        assert_eq!(dir(&ud, &topo, LinkId(0), SwitchId(1)), Direction::Up);
+        assert_eq!(dir(&ud, &topo, LinkId(0), SwitchId(0)), Direction::Down);
+    }
+
+    #[test]
+    fn equal_depth_ties_break_by_lower_id() {
+        // A triangle gives an equal-depth pair directly.
+        let mut t = Topology::new();
+        let a = t.add_switch_uniform(4);
+        let b = t.add_switch_uniform(4);
+        let c = t.add_switch_uniform(4);
+        let d = SimDuration::ZERO;
+        t.connect_switches(a, 0, b, 0, d).unwrap();
+        t.connect_switches(a, 1, c, 0, d).unwrap();
+        let bc = t.connect_switches(b, 1, c, 1, d).unwrap();
+        let tree = SpanningTree::compute(&t, a);
+        let ud = UpDown::compute(&t, tree);
+        // b and c both depth 1; up end of b-c is b (lower id).
+        assert_eq!(ud.up_switch(bc), Some(b));
+        assert_eq!(dir(&ud, &t, bc, c), Direction::Up);
+        assert_eq!(dir(&ud, &t, bc, b), Direction::Down);
+    }
+
+    #[test]
+    fn host_links_have_no_direction() {
+        let mut t = Topology::new();
+        let s = t.add_switch_uniform(4);
+        let _ = s;
+        let s2 = t.add_switch_uniform(4);
+        t.connect_switches(s, 0, s2, 0, SimDuration::ZERO).unwrap();
+        let h = t.add_host(crate::ids::PortKind::San);
+        let hl = t.connect_host(h, s, 1, SimDuration::ZERO).unwrap();
+        let ud = UpDown::compute_default(&t);
+        assert_eq!(ud.up_switch(hl), None);
+    }
+
+    #[test]
+    fn self_loop_orientation_by_port() {
+        let mut t = Topology::new();
+        let s = t.add_switch_uniform(4);
+        let s2 = t.add_switch_uniform(4);
+        t.connect_switches(s, 0, s2, 0, SimDuration::ZERO).unwrap();
+        let lp = t.connect_switches(s2, 1, s2, 2, SimDuration::ZERO).unwrap();
+        let ud = UpDown::compute_default(&t);
+        // Up end is port 1 (lower). Leaving via port 1 is Down; via port 2 Up.
+        assert_eq!(
+            ud.direction_from(&t, lp, s2, PortIx(1)),
+            Direction::Down
+        );
+        assert_eq!(ud.direction_from(&t, lp, s2, PortIx(2)), Direction::Up);
+    }
+
+    #[test]
+    fn every_cycle_has_up_and_down() {
+        // In any orientation derived from BFS depth + id tie-break, following
+        // links only in the Up direction must be acyclic. Verify by toposort.
+        let topo = fig1ish();
+        let ud = UpDown::compute_default(&topo);
+        let n = topo.num_switches();
+        // Edges directed down-switch -> up-switch (the Up traversal).
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![vec![]; n];
+        for lid in topo.link_ids() {
+            let Some(up) = ud.up_switch(lid) else { continue };
+            let l = topo.link(lid);
+            if l.is_self_loop() {
+                continue;
+            }
+            let a = l.a.node.as_switch().unwrap();
+            let b = l.b.node.as_switch().unwrap();
+            let down = if a == up { b } else { a };
+            adj[down.idx()].push(up.idx());
+            indeg[up.idx()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut removed = 0;
+        while let Some(v) = stack.pop() {
+            removed += 1;
+            for &w in &adj[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    stack.push(w);
+                }
+            }
+        }
+        assert_eq!(removed, n, "Up-direction subgraph has a cycle");
+    }
+
+    #[test]
+    fn forbidden_transition_is_down_then_up() {
+        assert!(Direction::Down.forbids(Direction::Up));
+        assert!(!Direction::Up.forbids(Direction::Down));
+        assert!(!Direction::Up.forbids(Direction::Up));
+        assert!(!Direction::Down.forbids(Direction::Down));
+    }
+}

@@ -1,0 +1,51 @@
+//! Loaded-network comparison: up*/down* versus ITB routing under uniform
+//! Poisson traffic on an irregular network — a small interactive version of
+//! the motivation experiments (the full sweep lives in the bench harness).
+//!
+//! Run with: `cargo run --release --example loaded_network [switches] [seed]`
+
+use itb_myrinet::core::experiments::{load_sweep, LoadSweep};
+use itb_myrinet::core::{ClusterSpec, RoutingPolicy};
+use itb_myrinet::sim::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let switches: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let sweep = LoadSweep {
+        size: 512,
+        offered_mb_s: vec![2.0, 8.0, 16.0, 28.0, 40.0],
+        warmup: SimDuration::from_ms(1),
+        window: SimDuration::from_ms(4),
+        drain: SimDuration::from_ms(2),
+    };
+
+    println!(
+        "uniform Poisson traffic, 512 B messages, {switches}-switch irregular network (seed {seed})"
+    );
+    println!(
+        "{:>14} | {:>14} {:>14} | {:>14} {:>14}",
+        "offered MB/s", "UD acc MB/s", "UD lat us", "ITB acc MB/s", "ITB lat us"
+    );
+
+    let run = |policy: RoutingPolicy| {
+        let spec = ClusterSpec::irregular(switches, seed).with_routing(policy);
+        load_sweep(&spec, &sweep)
+    };
+    let ud = run(RoutingPolicy::UpDown);
+    let itb = run(RoutingPolicy::Itb);
+
+    for (u, i) in ud.iter().zip(&itb) {
+        println!(
+            "{:>14.1} | {:>14.1} {:>14.1} | {:>14.1} {:>14.1}",
+            u.offered_mb_s, u.accepted_mb_s, u.avg_latency_us, i.accepted_mb_s, i.avg_latency_us
+        );
+    }
+    println!();
+    println!(
+        "Past the up*/down* saturation point the ITB rows keep accepting more \
+         traffic at lower latency — the paper's motivation (its references \
+         report up to 2-3x throughput on larger networks)."
+    );
+}

@@ -1,0 +1,38 @@
+//! Quickstart: build the paper's testbed, ping-pong between host 1 and
+//! host 2 under both firmware flavours, and print the latency table.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use itb_myrinet::core::{ClusterSpec, McpFlavor, RoutingPolicy};
+
+fn main() {
+    let sizes = [32u32, 128, 512, 2048];
+
+    println!("Figure 6 testbed: half-round-trip latency, host1 <-> host2");
+    println!("{:>8} {:>16} {:>16} {:>12}", "bytes", "original (us)", "ITB MCP (us)", "delta (ns)");
+
+    let run = |flavor: McpFlavor| {
+        let spec = ClusterSpec::fig6_testbed()
+            .with_mcp(flavor)
+            .with_routing(RoutingPolicy::UpDown);
+        spec.ping_pong(0, 2, &sizes, 20)
+    };
+    let orig = run(McpFlavor::Original);
+    let itb = run(McpFlavor::Itb);
+
+    for (o, m) in orig.points.iter().zip(&itb.points) {
+        let (ou, mu) = (o.half_rtt_ns.mean() / 1000.0, m.half_rtt_ns.mean() / 1000.0);
+        println!(
+            "{:>8} {:>16.3} {:>16.3} {:>12.0}",
+            o.size,
+            ou,
+            mu,
+            (mu - ou) * 1000.0
+        );
+    }
+    println!();
+    println!(
+        "The delta column is the paper's Figure 7 quantity: the cost of ITB \
+         support code on every received packet (paper: ~125 ns, <= 300 ns)."
+    );
+}

@@ -1,0 +1,63 @@
+//! Reproduce the paper's two evaluation figures on the Figure 6 testbed and
+//! print the curves as tables.
+//!
+//! Run with: `cargo run --release --example testbed_fig6`
+
+use itb_myrinet::core::experiments::{fig7, fig8};
+
+fn main() {
+    let iters = 30;
+
+    // ------------------------------------------------------------------
+    // Figure 7: overhead of the ITB support code on normal packets.
+    // ------------------------------------------------------------------
+    let f7 = fig7(iters);
+    println!("== Figure 7: latency overhead of the new GM/MCP code ==");
+    println!(
+        "{:>8} {:>18} {:>18} {:>14}",
+        "bytes", "original (us)", "modified (us)", "overhead (ns)"
+    );
+    let over7 = f7.overhead_ns();
+    for ((o, m), (_, d)) in f7
+        .original
+        .points
+        .iter()
+        .zip(&f7.modified.points)
+        .zip(&over7.points)
+    {
+        println!(
+            "{:>8} {:>18.3} {:>18.3} {:>14.0}",
+            o.size,
+            o.half_rtt_ns.mean() / 1000.0,
+            m.half_rtt_ns.mean() / 1000.0,
+            d
+        );
+    }
+    let (avg, max) = f7.summary();
+    println!("average overhead: {avg:.0} ns (paper: ~125 ns); max: {max:.0} ns (paper: <= 300 ns)\n");
+
+    // ------------------------------------------------------------------
+    // Figure 8: per-ITB latency on the matched 5-crossing paths.
+    // ------------------------------------------------------------------
+    let f8 = fig8(iters);
+    println!("== Figure 8: latency overhead of one in-transit buffer ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>18}",
+        "bytes", "UD (us)", "UD-ITB (us)", "per-ITB (us)"
+    );
+    let over8 = f8.overhead_us();
+    for ((u, i), (_, d)) in f8.ud.points.iter().zip(&f8.itb.points).zip(&over8.points) {
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>18.3}",
+            u.size,
+            u.half_rtt_ns.mean() / 1000.0,
+            i.half_rtt_ns.mean() / 1000.0,
+            d
+        );
+    }
+    let s = f8.summary();
+    println!(
+        "mean per-ITB overhead: {:.2} us (paper: ~1.3 us); relative: {:.1}% small -> {:.1}% large (paper: 10% -> 3%)",
+        s.mean_overhead_us, s.relative_small_pct, s.relative_large_pct
+    );
+}

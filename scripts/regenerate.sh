@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate every figure, table and ablation reported in EXPERIMENTS.md.
+# Results land in results/*.json; the printed tables are the paper's rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "======================================================================"
+    echo "== $*"
+    echo "======================================================================"
+    cargo run --release -p itb-bench --bin "$@"
+}
+
+cargo build --release -p itb-bench
+
+run fig7                      # Figure 7: MCP support overhead
+run fig8                      # Figure 8: per-ITB latency
+run motivation_throughput 16 1
+run motivation_throughput 32 1
+run motivation_balance        # route-quality vs network size
+run ablation_itb_count        # latency vs number of ITBs
+run ablation_pool             # §4 circular receive pool
+run ablation_root             # spanning-tree root placement
+run ablation_policies         # arbitration + ITB host selection
+run bandwidth                 # one-way bandwidth, both MCPs
+run app_exchange 16 1         # application phases (§6 future work)
+run latency_breakdown         # where the microseconds go
+
+echo
+echo "All experiment artifacts regenerated under results/."

@@ -1,0 +1,47 @@
+//! # itb-myrinet
+//!
+//! Umbrella crate for the reproduction of *"A First Implementation of
+//! In-Transit Buffers on Myrinet GM Software"* (S. Coll, J. Flich,
+//! M. P. Malumbres, P. López, J. Duato, F. J. Mora — IPPS 2001).
+//!
+//! The workspace models, from scratch, every layer the paper's firmware
+//! implementation touched:
+//!
+//! * [`sim`] — deterministic discrete-event engine,
+//! * [`topo`] — Myrinet cluster topologies, spanning trees, up*/down* link
+//!   orientation,
+//! * [`routing`] — up*/down* source routes, the **In-Transit Buffer planner**,
+//!   Myrinet header encoding and deadlock analysis,
+//! * [`net`] — byte-accurate wormhole links, Stop&Go flow control, cut-through
+//!   crossbar switches,
+//! * [`nic`] — the LANai network interface and the Myrinet Control Program
+//!   (MCP) state machines, original and ITB-extended,
+//! * [`gm`] — the GM host software model (ports, tokens, mapper, reliable
+//!   delivery, `allsize`-style drivers),
+//! * [`core`](mod@core) — high-level cluster builder, calibrated timing
+//!   presets and experiment runners.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use itb_myrinet::core::{ClusterSpec, McpFlavor, RoutingPolicy};
+//!
+//! // Build the paper's Figure 6 testbed and measure a ping-pong.
+//! let spec = ClusterSpec::fig6_testbed()
+//!     .with_mcp(McpFlavor::Itb)
+//!     .with_routing(RoutingPolicy::UpDown);
+//! let report = spec.ping_pong(0, 1, &[64, 1024], 10);
+//! assert_eq!(report.points.len(), 2);
+//! assert!(report.points[0].half_rtt_ns.mean() > 0.0);
+//! ```
+
+pub use itb_core as core;
+pub use itb_gm as gm;
+pub use itb_net as net;
+pub use itb_nic as nic;
+pub use itb_routing as routing;
+pub use itb_sim as sim;
+pub use itb_topo as topo;

@@ -1,0 +1,201 @@
+//! Failure injection across the stack: receive-pool exhaustion (flushes),
+//! ITB-host starvation, and recovery through the GM reliability layer.
+
+use itb_myrinet::core::{ClusterSpec, McpFlavor};
+use itb_myrinet::gm::AppBehavior;
+use itb_myrinet::routing::figures;
+use itb_myrinet::sim::{run_until, EventQueue, SimTime};
+use itb_myrinet::topo::builders::fig6_testbed;
+
+#[test]
+fn starved_receiver_recovers_all_messages() {
+    // One receive buffer at every NIC + a 20-message burst: flushes are
+    // guaranteed, go-back-N must deliver everything exactly once anyway.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_recv_buffers(1)
+        .with_flush_on_overflow(true);
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 3000,
+            count: 20,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 20);
+    assert!(c.nic(tb.host2).stats().flushed > 0, "injection must trigger");
+    assert!(
+        c.host(tb.host1).tx[tb.host2.idx()].retransmissions > 0,
+        "recovery must go through retransmission"
+    );
+    // Exactly-once at the app level is already asserted by delivered_count;
+    // any duplicate arrivals (go-back-N resends overlapping in-flight
+    // packets) must have been discarded, not re-delivered.
+    assert_eq!(c.messages().len(), 20);
+}
+
+#[test]
+fn starved_in_transit_host_recovers_itb_traffic() {
+    // The ITB host has a single receive buffer; bursty ITB-routed traffic
+    // through it gets flushed mid-path and must still arrive via
+    // retransmission — the §4 scenario ("this packet will be flushed. The
+    // GM software has mechanisms to retransmit missing packets").
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Itb)
+        .with_recv_buffers(1)
+        .with_flush_on_overflow(true)
+        .with_route_override(figures::fig8_itb_route(&tb))
+        .with_route_override(figures::fig8_return_route(&tb));
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 3000,
+            count: 15,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 15, "all messages despite mid-path drops");
+    let itb_nic = c.nic(tb.itb_host);
+    assert!(
+        itb_nic.stats().itb_forwards > 0,
+        "some packets did take the in-transit path"
+    );
+    // Either the ITB host or the final receiver flushed something.
+    let drops = itb_nic.stats().flushed + c.nic(tb.host2).stats().flushed;
+    assert!(drops > 0, "starvation must have dropped at least one packet");
+}
+
+#[test]
+fn crc_corruption_recovers_via_retransmission() {
+    // Every 4th injected packet (data or ack) has its CRC damaged; the
+    // receiving NIC drops it at the tail check and go-back-N must still
+    // deliver every message exactly once.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_corruption_every(4);
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 2000,
+            count: 12,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 12);
+    let drops: u64 = [tb.host1, tb.itb_host, tb.host2]
+        .iter()
+        .map(|&h| c.nic(h).stats().crc_drops)
+        .sum();
+    assert!(drops > 0, "corruption must have dropped packets");
+    assert!(
+        c.host(tb.host1).tx[tb.host2.idx()].retransmissions > 0,
+        "recovery via retransmission"
+    );
+}
+
+#[test]
+fn corrupted_itb_packet_dropped_at_destination_and_recovered() {
+    // A corrupted packet on the ITB route is forwarded unverified (cut-
+    // through cannot check the CRC before re-injecting) and dropped at the
+    // final destination's tail check.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Itb)
+        .with_corruption_every(3)
+        .with_route_override(figures::fig8_itb_route(&tb))
+        .with_route_override(figures::fig8_return_route(&tb));
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 1500,
+            count: 10,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 10);
+    assert!(c.nic(tb.host2).stats().crc_drops > 0 || c.nic(tb.host1).stats().crc_drops > 0);
+    // The in-transit host never drops on CRC: it forwards without checking.
+    assert_eq!(c.nic(tb.itb_host).stats().crc_drops, 0);
+    assert!(c.nic(tb.itb_host).stats().itb_forwards > 0);
+}
+
+#[test]
+fn no_reliability_means_losses_stay_lost() {
+    // Sanity check of the control: with reliability off and a starved
+    // receiver, some messages never arrive.
+    let tb = fig6_testbed();
+    let mut spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_recv_buffers(1)
+        .with_flush_on_overflow(true);
+    spec.calib.gm.reliability = false;
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 3000,
+            count: 20,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert!(
+        c.delivered_count() < 20,
+        "without retransmission flushes must be terminal"
+    );
+}
+
+#[test]
+fn retransmission_preserves_payload_sizes() {
+    // Mixed sizes under starvation: every delivered record keeps its length.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_recv_buffers(1)
+        .with_flush_on_overflow(true);
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 9000, // 3 packets per message
+            count: 8,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 8);
+    for rec in c.messages().values() {
+        assert_eq!(rec.len, 9000);
+        assert!(rec.delivered_at.is_some());
+    }
+}

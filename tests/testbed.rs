@@ -1,0 +1,101 @@
+//! Cross-crate integration: the Figure 6 testbed end to end through the
+//! umbrella crate's public API.
+
+use itb_myrinet::core::experiments::{fig7, fig8, ping_pong};
+use itb_myrinet::core::{ClusterSpec, McpFlavor, RoutingPolicy};
+use itb_myrinet::routing::figures;
+use itb_myrinet::routing::wire::Header;
+use itb_myrinet::topo::builders::fig6_testbed;
+
+#[test]
+fn quickstart_api_works_as_documented() {
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Itb)
+        .with_routing(RoutingPolicy::UpDown);
+    let report = spec.ping_pong(0, 2, &[64, 1024], 5);
+    assert_eq!(report.points.len(), 2);
+    assert!(report.points[0].half_rtt_ns.mean() > 0.0);
+    assert!(report.points[1].half_rtt_ns.mean() > report.points[0].half_rtt_ns.mean());
+}
+
+#[test]
+fn fig7_headline_numbers_match_paper_band() {
+    let f = fig7(20);
+    let (avg, max) = f.summary();
+    // Paper: "Difference in measured latencies does not exceed 300 ns and,
+    // on average, is equal to 125 ns."
+    assert!((80.0..=250.0).contains(&avg), "avg {avg} ns");
+    assert!(max <= 330.0, "max {max} ns");
+    // Monotone latency curves.
+    for r in [&f.original, &f.modified] {
+        let s = r.to_series();
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{}: latency must grow with size", r.label);
+        }
+    }
+}
+
+#[test]
+fn fig8_headline_numbers_match_paper_band() {
+    let f = fig8(20);
+    let s = f.summary();
+    // Paper: "the cost of detecting an ITB packet and handling its
+    // re-injection is around 1.3 us".
+    assert!(
+        (1.0..=1.6).contains(&s.mean_overhead_us),
+        "per-ITB {} us",
+        s.mean_overhead_us
+    );
+    // Paper: relative overhead ranges from 10% (short) to 3% (long); our
+    // testbed's base latencies differ a little, but the direction must hold
+    // and the short-packet value must be within a few x.
+    assert!(s.relative_small_pct > 2.0 * s.relative_large_pct);
+    assert!((3.0..=15.0).contains(&s.relative_small_pct));
+    // The overhead curve is flat: cut-through forwarding is size-independent.
+    let over = f.overhead_us();
+    let spread = over.max_y() - over.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.3, "per-ITB overhead should be ~constant, spread {spread}");
+}
+
+#[test]
+fn testbed_routes_cross_five_switches_each() {
+    let tb = fig6_testbed();
+    let ud = figures::fig8_ud_route(&tb);
+    let itb = figures::fig8_itb_route(&tb);
+    assert_eq!(ud.total_crossings(), 5);
+    assert_eq!(itb.total_crossings(), 5);
+    assert_eq!(itb.itb_count(), 1);
+    assert_eq!(
+        figures::port_kind_profile(&tb.topo, &ud),
+        figures::port_kind_profile(&tb.topo, &itb)
+    );
+}
+
+#[test]
+fn header_grows_by_three_bytes_per_itb() {
+    // The Figure 3 format: each ITB adds a 2-byte tag + 1 length byte.
+    let tb = fig6_testbed();
+    let ud = Header::encode(&figures::fig8_ud_route(&tb));
+    let itb = Header::encode(&figures::fig8_itb_route(&tb));
+    assert_eq!(itb.len(), ud.len() + 3);
+}
+
+#[test]
+fn custom_pair_ping_pong_via_in_transit_host() {
+    // Host1 <-> in-transit host pings work too (they share a switch).
+    let spec = ClusterSpec::fig6_testbed().with_mcp(McpFlavor::Itb);
+    let tb = spec.testbed.clone().unwrap();
+    let r = ping_pong(&spec, tb.host1, tb.itb_host, &[128], 5, 1);
+    assert_eq!(r.points[0].half_rtt_ns.count(), 5);
+    // One switch crossing each way, but over LAN ports both sides (400 ns
+    // fall-through) versus the two-crossing LAN→SAN path (350 ns total), so
+    // fewer crossings does NOT mean faster here — the paper's own point
+    // that switch latency depends on the traversed port kinds. Just check
+    // both pairs land in the same ballpark.
+    let r2 = ping_pong(&spec, tb.host1, tb.host2, &[128], 5, 1);
+    let (a, b) = (
+        r.points[0].half_rtt_ns.mean(),
+        r2.points[0].half_rtt_ns.mean(),
+    );
+    assert!((a - b).abs() < 1_500.0, "pair latencies {a} vs {b} ns diverge");
+}
