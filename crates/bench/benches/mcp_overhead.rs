@@ -19,10 +19,7 @@ fn round(flavor: McpFlavor, size: u32) -> f64 {
 fn bench_mcp(c: &mut Criterion) {
     let mut g = c.benchmark_group("mcp_pingpong_sim");
     g.sample_size(20);
-    for (label, flavor) in [
-        ("original", McpFlavor::Original),
-        ("itb", McpFlavor::Itb),
-    ] {
+    for (label, flavor) in [("original", McpFlavor::Original), ("itb", McpFlavor::Itb)] {
         g.bench_function(label, |b| b.iter(|| black_box(round(flavor, 256))));
     }
     g.finish();

@@ -31,7 +31,10 @@ fn main() {
 
     // --- Arbitration under a near-saturation load. ---------------------
     println!("# Ablation — crossbar output arbitration ({switches}-switch network, 512 B @ 18 MB/s/host)");
-    println!("{:>12} {:>14} {:>14}", "arbitration", "accepted MB/s", "latency (us)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "arbitration", "accepted MB/s", "latency (us)"
+    );
     let sweep = LoadSweep {
         size: 512,
         offered_mb_s: vec![18.0],
@@ -39,11 +42,17 @@ fn main() {
         window: SimDuration::from_ms(6),
         drain: SimDuration::from_ms(3),
     };
-    for (name, arb) in [("fifo", Arbitration::Fifo), ("round-robin", Arbitration::RoundRobin)] {
+    for (name, arb) in [
+        ("fifo", Arbitration::Fifo),
+        ("round-robin", Arbitration::RoundRobin),
+    ] {
         let mut spec = ClusterSpec::irregular(switches, seed).with_routing(RoutingPolicy::Itb);
         spec.calib.net.arbitration = arb;
         let p = &load_sweep(&spec, &sweep)[0];
-        println!("{:>12} {:>14.1} {:>14.1}", name, p.accepted_mb_s, p.avg_latency_us);
+        println!(
+            "{:>12} {:>14.1} {:>14.1}",
+            name, p.accepted_mb_s, p.avg_latency_us
+        );
         out.arbitration
             .push((name.into(), p.accepted_mb_s, p.avg_latency_us));
     }

@@ -30,7 +30,9 @@ fn main() {
         .unwrap_or(10);
     let switches = 16;
 
-    println!("# Ablation — spanning-tree root policy ({switches} switches, mean over {seeds} seeds)");
+    println!(
+        "# Ablation — spanning-tree root policy ({switches} switches, mean over {seeds} seeds)"
+    );
     println!(
         "{:>8} {:>14} | {:>10} {:>10} {:>10} | {:>10}",
         "fabric", "root policy", "UD links", "UD min%", "UD imbal", "ITB itbs"
@@ -40,50 +42,55 @@ fn main() {
     // leaves 2, giving barely-more-than-a-tree fabrics where the root
     // placement dominates.
     for (density, hosts_per_switch) in [("dense", 4usize), ("sparse", 6)] {
-    for (name, policy) in [
-        ("highest-deg", RootPolicy::HighestDegree),
-        ("lowest-id", RootPolicy::LowestId),
-        ("worst-case", RootPolicy::WorstCase),
-    ] {
-        let acc: Vec<(f64, f64, f64, f64)> = (0..seeds)
-            .into_par_iter()
-            .map(|seed| {
-                let topo = random_irregular(&IrregularSpec {
-                    switches,
-                    ports_per_switch: 8,
-                    hosts_per_switch,
-                    seed,
-                });
-                let tree = SpanningTree::compute_with_policy(&topo, policy);
-                let ud = UpDown::compute(&topo, tree);
-                let udt = RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap();
-                let itbt = RouteTable::compute(&topo, &ud, RoutingPolicy::Itb).unwrap();
-                let mu = analyze(&topo, &ud, &udt);
-                let mi = analyze(&topo, &ud, &itbt);
-                (
-                    mu.mean_links,
-                    mu.minimal_fraction * 100.0,
-                    mu.channel_imbalance,
-                    mi.mean_itbs,
-                )
-            })
-            .collect();
-        let n = acc.len() as f64;
-        let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| acc.iter().map(f).sum::<f64>() / n;
-        let row = Row {
-            density: density.into(),
-            policy: name.into(),
-            ud_mean_links: mean(|x| x.0),
-            ud_minimal_pct: mean(|x| x.1),
-            ud_imbalance: mean(|x| x.2),
-            itb_mean_itbs: mean(|x| x.3),
-        };
-        println!(
-            "{:>8} {:>14} | {:>10.3} {:>9.1}% {:>10.2} | {:>10.3}",
-            row.density, row.policy, row.ud_mean_links, row.ud_minimal_pct, row.ud_imbalance, row.itb_mean_itbs
-        );
-        rows.push(row);
-    }
+        for (name, policy) in [
+            ("highest-deg", RootPolicy::HighestDegree),
+            ("lowest-id", RootPolicy::LowestId),
+            ("worst-case", RootPolicy::WorstCase),
+        ] {
+            let acc: Vec<(f64, f64, f64, f64)> = (0..seeds)
+                .into_par_iter()
+                .map(|seed| {
+                    let topo = random_irregular(&IrregularSpec {
+                        switches,
+                        ports_per_switch: 8,
+                        hosts_per_switch,
+                        seed,
+                    });
+                    let tree = SpanningTree::compute_with_policy(&topo, policy);
+                    let ud = UpDown::compute(&topo, tree);
+                    let udt = RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap();
+                    let itbt = RouteTable::compute(&topo, &ud, RoutingPolicy::Itb).unwrap();
+                    let mu = analyze(&topo, &ud, &udt);
+                    let mi = analyze(&topo, &ud, &itbt);
+                    (
+                        mu.mean_links,
+                        mu.minimal_fraction * 100.0,
+                        mu.channel_imbalance,
+                        mi.mean_itbs,
+                    )
+                })
+                .collect();
+            let n = acc.len() as f64;
+            let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| acc.iter().map(f).sum::<f64>() / n;
+            let row = Row {
+                density: density.into(),
+                policy: name.into(),
+                ud_mean_links: mean(|x| x.0),
+                ud_minimal_pct: mean(|x| x.1),
+                ud_imbalance: mean(|x| x.2),
+                itb_mean_itbs: mean(|x| x.3),
+            };
+            println!(
+                "{:>8} {:>14} | {:>10.3} {:>9.1}% {:>10.2} | {:>10.3}",
+                row.density,
+                row.policy,
+                row.ud_mean_links,
+                row.ud_minimal_pct,
+                row.ud_imbalance,
+                row.itb_mean_itbs
+            );
+            rows.push(row);
+        }
     }
     println!();
     println!(

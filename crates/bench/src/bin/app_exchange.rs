@@ -29,7 +29,9 @@ fn main() {
 
     let mut rows = Vec::new();
 
-    println!("# Application communication phases, {switches}-switch irregular network (seed {seed})");
+    println!(
+        "# Application communication phases, {switches}-switch irregular network (seed {seed})"
+    );
     println!(
         "{:>12} {:>8} | {:>14} {:>14} | {:>14} {:>14} | {:>9}",
         "pattern", "bytes", "UD makespan", "UD mean lat", "ITB makespan", "ITB mean lat", "speedup"
@@ -46,7 +48,13 @@ fn main() {
         let speedup = ud.makespan_us / itb.makespan_us;
         println!(
             "{:>12} {:>8} | {:>12.1}us {:>12.1}us | {:>12.1}us {:>12.1}us | {:>8.2}x",
-            "permutation", size, ud.makespan_us, ud.mean_latency_us, itb.makespan_us, itb.mean_latency_us, speedup
+            "permutation",
+            size,
+            ud.makespan_us,
+            ud.mean_latency_us,
+            itb.makespan_us,
+            itb.mean_latency_us,
+            speedup
         );
         rows.push(Row {
             pattern: "permutation",
@@ -69,7 +77,13 @@ fn main() {
         let speedup = ud.makespan_us / itb.makespan_us;
         println!(
             "{:>12} {:>8} | {:>12.1}us {:>12.1}us | {:>12.1}us {:>12.1}us | {:>8.2}x",
-            "all-to-all", size, ud.makespan_us, ud.mean_latency_us, itb.makespan_us, itb.mean_latency_us, speedup
+            "all-to-all",
+            size,
+            ud.makespan_us,
+            ud.mean_latency_us,
+            itb.makespan_us,
+            itb.mean_latency_us,
+            speedup
         );
         rows.push(Row {
             pattern: "all-to-all",

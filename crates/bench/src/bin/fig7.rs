@@ -4,7 +4,9 @@
 //!
 //! `cargo run --release -p itb-bench --bin fig7 [iters]`
 
-use itb_core::experiments::fig7;
+use itb_core::experiments::{fig7, traced_one_way};
+use itb_obs::export::{to_chrome_trace, to_jsonl};
+use itb_obs::Attribution;
 
 fn main() {
     let iters: u32 = std::env::args()
@@ -61,4 +63,23 @@ fn main() {
     );
 
     itb_bench::dump_json("fig7", &f);
+
+    // One traced message over the plain UD route (ITB-enabled MCP): the
+    // trace shows the ~125 ns Fig. 7 overhead lives entirely in Injection
+    // and Delivery — no ItbHop time on a direct path.
+    let run = traced_one_way(64, false);
+    let attr = run.attribution();
+    let e2e: f64 = attr.iter().map(|&(_, ns)| ns).sum();
+    let itb = attr
+        .iter()
+        .find(|&&(a, _)| a == Attribution::ItbHop)
+        .map(|&(_, ns)| ns)
+        .unwrap_or(0.0);
+    println!();
+    println!(
+        "traced 64 B message on the UD route: {:.0} ns end to end, {itb:.0} ns in ITB firmware",
+        e2e
+    );
+    itb_bench::dump_text("fig7_trace.jsonl", &to_jsonl(&run.tracer));
+    itb_bench::dump_text("fig7_trace_chrome.json", &to_chrome_trace(&run.tracer));
 }

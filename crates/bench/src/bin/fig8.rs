@@ -4,7 +4,8 @@
 //!
 //! `cargo run --release -p itb-bench --bin fig8 [iters]`
 
-use itb_core::experiments::fig8;
+use itb_core::experiments::{fig8, traced_one_way};
+use itb_obs::export::{to_chrome_trace, to_jsonl};
 
 fn main() {
     let iters: u32 = std::env::args()
@@ -53,4 +54,31 @@ fn main() {
     );
 
     itb_bench::dump_json("fig8", &f);
+
+    // One cheap traced message over the UD-ITB path: where does the
+    // ~1.3 us per-ITB overhead actually go?
+    let run = traced_one_way(64, true);
+    let attr = run.attribution();
+    let e2e: f64 = attr.iter().map(|&(_, ns)| ns).sum();
+    println!();
+    println!("# Per-stage latency attribution, one traced 64 B message (UD-ITB path)");
+    for &(cat, ns) in &attr {
+        println!(
+            "{:>18} {:>10.0} ns {:>5.1}%",
+            cat.as_str(),
+            ns,
+            ns / e2e * 100.0
+        );
+    }
+    println!("{:>18} {e2e:>10.0} ns", "total");
+    itb_bench::dump_json(
+        "fig8_attribution",
+        &attr
+            .iter()
+            .map(|&(cat, ns)| (cat.as_str().to_string(), ns))
+            .collect::<Vec<_>>(),
+    );
+    itb_bench::dump_text("fig8_trace.jsonl", &to_jsonl(&run.tracer));
+    itb_bench::dump_text("fig8_trace_chrome.json", &to_chrome_trace(&run.tracer));
+    itb_bench::dump_json("fig8_metrics", &run.snapshot);
 }

@@ -5,7 +5,7 @@
 //!
 //! `cargo run --release -p itb-bench --bin latency_breakdown [size]`
 
-use itb_core::experiments::latency_breakdown;
+use itb_core::experiments::{latency_breakdown, traced_one_way};
 use itb_core::{ClusterSpec, McpFlavor};
 
 fn main() {
@@ -19,7 +19,10 @@ fn main() {
     for &size in &sizes {
         let stages = latency_breakdown(&spec, tb.host1, tb.host2, size);
         let total: f64 = stages.iter().map(|s| s.ns).sum();
-        println!("# One-way latency breakdown, {size} B message (total {:.2} us)", total / 1000.0);
+        println!(
+            "# One-way latency breakdown, {size} B message (total {:.2} us)",
+            total / 1000.0
+        );
         for s in &stages {
             let pct = s.ns / total * 100.0;
             let bar = "#".repeat((pct / 2.0).round() as usize);
@@ -27,6 +30,26 @@ fn main() {
         }
         println!();
         itb_bench::dump_json(&format!("latency_breakdown_{size}"), &stages);
+
+        // The same message traced over the one-ITB route, attributed to the
+        // four lifecycle categories of the obs layer.
+        let run = traced_one_way(size, true);
+        let attr = run.attribution();
+        let total: f64 = attr.iter().map(|&(_, ns)| ns).sum();
+        println!("  via one ITB (traced, total {:.2} us):", total / 1000.0);
+        for &(cat, ns) in &attr {
+            let pct = ns / total * 100.0;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            println!("{:>44} {:>10.0} ns {:>5.1}% {}", cat.as_str(), ns, pct, bar);
+        }
+        println!();
+        itb_bench::dump_json(
+            &format!("latency_attribution_{size}"),
+            &attr
+                .iter()
+                .map(|&(cat, ns)| (cat.as_str().to_string(), ns))
+                .collect::<Vec<_>>(),
+        );
     }
     println!(
         "Host-side processing dominates short messages; the streaming stage \

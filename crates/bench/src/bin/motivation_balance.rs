@@ -57,8 +57,7 @@ fn main() {
         let rows: Vec<(RouteSetMetrics, RouteSetMetrics)> = (0..seeds)
             .into_par_iter()
             .map(|seed| {
-                let topo =
-                    random_irregular(&IrregularSpec::evaluation_default(switches, seed));
+                let topo = random_irregular(&IrregularSpec::evaluation_default(switches, seed));
                 let ud = UpDown::compute_default(&topo);
                 let udt = RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap();
                 let itbt = RouteTable::compute(&topo, &ud, RoutingPolicy::Itb).unwrap();

@@ -41,7 +41,10 @@ fn main() {
     let itb = run(RoutingPolicy::Itb);
 
     println!("# Motivation — accepted throughput & latency vs offered load");
-    println!("# ({switches} switches, {} hosts, 512 B uniform Poisson)", switches * 4);
+    println!(
+        "# ({switches} switches, {} hosts, 512 B uniform Poisson)",
+        switches * 4
+    );
     println!(
         "{:>12} | {:>12} {:>12} {:>10} | {:>12} {:>12} {:>10}",
         "offered/host", "UD acc", "UD lat us", "UD del%", "ITB acc", "ITB lat us", "ITB del%"

@@ -11,15 +11,25 @@ use std::path::PathBuf;
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("ITB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     let p = PathBuf::from(dir);
-    std::fs::create_dir_all(&p).expect("can create results dir");
+    std::fs::create_dir_all(&p)
+        .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", p.display()));
     p
 }
 
 /// Serialize `value` to `results/<name>.json` and report the path.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable result");
-    std::fs::write(&path, json).expect("can write result file");
+    let json = serde_json::to_string_pretty(value)
+        .unwrap_or_else(|e| panic!("result {name} does not serialize: {e}"));
+    dump_text(&format!("{name}.json"), &json);
+}
+
+/// Write a pre-rendered artifact (JSONL event dump, Chrome trace, …) to
+/// `results/<file>` and report the path. Panics with the offending path on
+/// I/O errors, so a mis-set `ITB_RESULTS_DIR` is diagnosable.
+pub fn dump_text(file: &str, contents: &str) {
+    let path = results_dir().join(file);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write result file {}: {e}", path.display()));
     println!("[wrote {}]", path.display());
 }
 
@@ -108,12 +118,32 @@ mod tests {
         assert_eq!(ascii_chart(&[("x", &[])], 10, 5), "(no data)\n");
     }
 
+    // One test covers both the happy path and the error path: the two
+    // share the process-global ITB_RESULTS_DIR variable, so they must not
+    // run concurrently as separate #[test]s.
     #[test]
-    fn dump_json_writes_file() {
+    fn dump_json_writes_file_and_errors_name_the_path() {
         std::env::set_var("ITB_RESULTS_DIR", "/tmp/itb-bench-test-results");
         dump_json("unit_test", &vec![1, 2, 3]);
+        dump_text("unit_test.jsonl", "{\"a\":1}\n");
         let s = std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test.json").unwrap();
         assert!(s.contains('1'));
+        let s = std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test.jsonl").unwrap();
+        assert!(s.ends_with('\n'));
+
+        // An unusable results dir (a path under a regular file) must panic
+        // with a message that names the offending path.
+        std::fs::write("/tmp/itb-bench-test-file", "not a dir").unwrap();
+        std::env::set_var("ITB_RESULTS_DIR", "/tmp/itb-bench-test-file/sub");
+        let err = std::panic::catch_unwind(|| dump_json("unit_test", &1))
+            .expect_err("writing under a file must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(
+            msg.contains("/tmp/itb-bench-test-file/sub"),
+            "panic must name the path: {msg}"
+        );
         std::env::remove_var("ITB_RESULTS_DIR");
     }
 }

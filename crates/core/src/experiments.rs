@@ -143,11 +143,7 @@ pub fn itb_count_sweep(ks: &[usize], size: u32, iters: u32) -> Vec<(usize, f64)>
                 dst,
                 (switches - 1) as u16,
             ));
-            let route = SourceRoute {
-                src,
-                dst,
-                segments,
-            };
+            let route = SourceRoute { src, dst, segments };
             assert!(route.is_well_formed(&topo));
             assert_eq!(route.itb_count(), k);
             let spec = spec.with_route_override(route);
@@ -191,7 +187,12 @@ pub struct BreakdownStage {
 /// network's per-packet timeline instrumentation: host send processing,
 /// SDMA staging + send programming, wire time to the head, streaming to the
 /// tail, receive completion + RDMA, and host delivery processing.
-pub fn latency_breakdown(spec: &ClusterSpec, src: HostId, dst: HostId, size: u32) -> Vec<BreakdownStage> {
+pub fn latency_breakdown(
+    spec: &ClusterSpec,
+    src: HostId,
+    dst: HostId,
+    size: u32,
+) -> Vec<BreakdownStage> {
     let mut spec = spec.clone();
     spec.calib.net.record_timelines = true;
     let n = spec.num_hosts();
@@ -228,7 +229,11 @@ pub fn latency_breakdown(spec: &ClusterSpec, src: HostId, dst: HostId, size: u32
     let deliver = find("nic.deliver");
     let delivered = rec.delivered_at.expect("delivered");
     let stages = [
-        ("host send + SDMA staging + send program", rec.sent_at, inject),
+        (
+            "host send + SDMA staging + send program",
+            rec.sent_at,
+            inject,
+        ),
         ("wire: inject to head at destination", inject, head),
         ("wire: head to tail (streaming)", head, tail),
         ("recv finish (CPU)", tail, recv_finish),
@@ -242,6 +247,86 @@ pub fn latency_breakdown(spec: &ClusterSpec, src: HostId, dst: HostId, size: u32
             ns: b.saturating_since(*a).as_ns_f64(),
         })
         .collect()
+}
+
+/// One traced one-way message: the complete lifecycle event stream plus
+/// which packet carried the payload, from [`traced_one_way`].
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Lifecycle events for every packet of the run (payload and protocol).
+    pub tracer: itb_obs::PacketTracer,
+    /// Id of the payload packet (host inject → host delivery).
+    pub packet: u64,
+    /// Closing metrics snapshot of the run's cluster.
+    pub snapshot: itb_obs::Snapshot,
+}
+
+impl TracedRun {
+    /// The payload packet's consecutive lifecycle spans.
+    pub fn spans(&self) -> Vec<itb_obs::Span> {
+        itb_obs::spans(&self.tracer.for_packet(self.packet))
+    }
+
+    /// The payload packet's half-RTT decomposed into the four attribution
+    /// categories (always all four, zeros included).
+    pub fn attribution(&self) -> Vec<(itb_obs::Attribution, f64)> {
+        itb_obs::attribute(&self.spans())
+    }
+}
+
+/// Send one `size`-byte message from the testbed's host 1 to host 2 with
+/// the packet-lifecycle tracer enabled and return the full trace. With
+/// `via_itb` the message takes the Figure 8 one-ITB route (and the trace
+/// must show the in-transit hop); otherwise the plain up\*/down\* route of
+/// Figure 7. Both runs use the ITB-enabled MCP, as in the paper.
+pub fn traced_one_way(size: u32, via_itb: bool) -> TracedRun {
+    let base = ClusterSpec::fig6_testbed().with_mcp(McpFlavor::Itb);
+    let tb = base.testbed.clone().expect("testbed spec");
+    let spec = if via_itb {
+        base.with_route_override(figures::fig8_itb_route(&tb))
+            .with_route_override(figures::fig8_return_route(&tb))
+    } else {
+        base.with_routing(RoutingPolicy::UpDown)
+    };
+    let n = spec.num_hosts();
+    let mut behaviors = vec![AppBehavior::Sink; n];
+    behaviors[tb.host1.idx()] = AppBehavior::Stream {
+        dst: tb.host2,
+        size,
+        count: 1,
+    };
+    let mut cluster = spec.build(behaviors);
+    cluster.net.tracer_mut().enable();
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    run_while(&mut cluster, &mut q, |c| c.delivered_count() < 1);
+    let snapshot = cluster.metrics_snapshot(q.now());
+    let tracer = std::mem::take(cluster.net.tracer_mut());
+    // The payload packet is the one that went host-to-host; protocol
+    // packets never reach `host.deliver`.
+    let packet = tracer
+        .packets()
+        .into_iter()
+        .find(|&p| {
+            let evs = tracer.for_packet(p);
+            evs.iter().any(|e| e.stage == itb_obs::Stage::HostInject)
+                && evs.iter().any(|e| e.stage == itb_obs::Stage::HostDeliver)
+        })
+        .expect("payload packet traced end to end");
+    if via_itb {
+        assert!(
+            tracer
+                .for_packet(packet)
+                .iter()
+                .any(|e| e.stage == itb_obs::Stage::McpItbDetect),
+            "ITB route must show an in-transit hop in the trace"
+        );
+    }
+    TracedRun {
+        tracer,
+        packet,
+        snapshot,
+    }
 }
 
 /// One point of a one-way streaming bandwidth sweep.
@@ -334,9 +419,7 @@ pub fn total_exchange(spec: &ClusterSpec, size: u32, horizon_ms: u64) -> Exchang
     cluster.start(&mut q);
     let expected = n * (n - 1);
     let horizon = SimTime::ZERO + SimDuration::from_ms(horizon_ms);
-    run_while(&mut cluster, &mut q, |c| {
-        c.delivered_count() < expected
-    });
+    run_while(&mut cluster, &mut q, |c| c.delivered_count() < expected);
     assert!(
         q.now() <= horizon,
         "total exchange exceeded the {horizon_ms} ms horizon"
@@ -583,6 +666,49 @@ mod tests {
         );
         // The streaming stage dominates wire time for 1 KiB.
         assert!(stages[2].ns > stages[1].ns);
+    }
+
+    #[test]
+    fn traced_attribution_sums_to_end_to_end() {
+        let run = traced_one_way(256, true);
+        let sp = run.spans();
+        assert!(sp.len() >= 6, "expected a multi-stage lifecycle: {sp:?}");
+        // Spans tile the packet's life: their sum IS the end-to-end latency.
+        let e2e: f64 = sp.iter().map(|s| s.ns).sum();
+        assert!(e2e > 0.0);
+        let attr = run.attribution();
+        assert_eq!(attr.len(), 4);
+        let total: f64 = attr.iter().map(|&(_, ns)| ns).sum();
+        assert!(
+            (total - e2e).abs() < 1e-6,
+            "attribution {total} ns != end-to-end {e2e} ns"
+        );
+        // The snapshot agrees a reinjection (= ITB forward) happened.
+        assert!(run.snapshot.counter("net.reinjected") >= 1);
+    }
+
+    #[test]
+    fn traced_itb_hop_cost_matches_paper_band() {
+        let run = traced_one_way(64, true);
+        let itb_us = run
+            .attribution()
+            .into_iter()
+            .find(|&(a, _)| a == itb_obs::Attribution::ItbHop)
+            .map(|(_, ns)| ns / 1000.0)
+            .unwrap();
+        assert!(
+            (0.9..=1.7).contains(&itb_us),
+            "ItbHop {itb_us} µs per hop (paper ≈1.3 µs)"
+        );
+        // A direct route spends nothing in ITB firmware.
+        let direct = traced_one_way(64, false);
+        let direct_itb = direct
+            .attribution()
+            .into_iter()
+            .find(|&(a, _)| a == itb_obs::Attribution::ItbHop)
+            .map(|(_, ns)| ns)
+            .unwrap();
+        assert_eq!(direct_itb, 0.0, "no ITB work on the plain UD route");
     }
 
     #[test]

@@ -157,7 +157,14 @@ impl ClusterSpec {
     /// Convenience used by the crate-root quickstart: run a ping-pong
     /// between two hosts and return the latency report.
     pub fn ping_pong(&self, src: u16, dst: u16, sizes: &[u32], iters: u32) -> crate::LatencyReport {
-        crate::experiments::ping_pong(self, itb_topo::HostId(src), itb_topo::HostId(dst), sizes, iters, 2)
+        crate::experiments::ping_pong(
+            self,
+            itb_topo::HostId(src),
+            itb_topo::HostId(dst),
+            sizes,
+            iters,
+            2,
+        )
     }
 }
 

@@ -216,7 +216,10 @@ impl Cluster {
                 AppBehavior::PingPong { .. }
                 | AppBehavior::Stream { .. }
                 | AppBehavior::AllToAll { .. } => {
-                    q.schedule(SimTime::ZERO, ClusterEvent::Host(HostEvent::AppSend { host }));
+                    q.schedule(
+                        SimTime::ZERO,
+                        ClusterEvent::Host(HostEvent::AppSend { host }),
+                    );
                 }
                 AppBehavior::Poisson { mean_gap, .. } => {
                     let gap = self.rngs[h].exp(mean_gap.as_ns_f64());
@@ -263,6 +266,40 @@ impl Cluster {
             .values()
             .filter(|m| m.delivered_at.is_some())
             .count()
+    }
+
+    /// One unified metrics snapshot across all layers at time `now`:
+    /// network and per-NIC counters in a flat `layer.name` namespace,
+    /// per-link byte/blocking loads and the wormhole blocking-time
+    /// distribution. Diff two snapshots with [`itb_obs::Snapshot::delta`].
+    pub fn metrics_snapshot(&self, now: SimTime) -> itb_obs::Snapshot {
+        let mut s = itb_obs::Snapshot::new();
+        s.at_ns = now.as_ns_f64() as u64;
+        let n = self.net.stats();
+        s.counters.insert("net.injected".into(), n.injected);
+        s.counters.insert("net.reinjected".into(), n.reinjected);
+        s.counters.insert("net.delivered".into(), n.delivered);
+        s.counters
+            .insert("net.bytes_delivered".into(), n.bytes_delivered);
+        for (i, nic) in self.nics.iter().enumerate() {
+            let st = nic.stats();
+            for (name, v) in [
+                ("sends", st.sends),
+                ("recvs", st.recvs),
+                ("early_recv_events", st.early_recv_events),
+                ("itb_detects", st.itb_detects),
+                ("itb_forwards", st.itb_forwards),
+                ("itb_pending_serviced", st.itb_pending_serviced),
+                ("flushed", st.flushed),
+                ("crc_drops", st.crc_drops),
+                ("rx_stalls", st.rx_stalls),
+            ] {
+                s.counters.insert(format!("nic.{i}.{name}"), v);
+            }
+        }
+        s.links = self.net.link_load();
+        s.blocking = itb_obs::QuantileSummary::from(self.net.blocking_times());
+        s
     }
 
     // ------------------------------------------------------------------
@@ -392,7 +429,9 @@ impl Cluster {
             NicOutput::Flushed { .. } => {
                 // Lost packet: the reliability layer will retransmit.
             }
-            NicOutput::RecvComplete { host, desc, .. } => {
+            NicOutput::RecvComplete {
+                host, packet, desc, ..
+            } => {
                 let meta = PacketMeta::decode(desc.tag);
                 let from = desc.src;
                 match meta.kind {
@@ -424,6 +463,14 @@ impl Cluster {
                             }
                         }
                         if let RxAction::Delivered { len, msg_id, .. } = action {
+                            // The packet that completed the message reaches
+                            // the application after the host receive cost.
+                            self.net.trace(
+                                packet,
+                                itb_obs::Stage::HostDeliver,
+                                u32::from(host.0),
+                                now + self.gm.o_recv,
+                            );
                             let mut sink = Sink(q);
                             sink.host_at(
                                 now + self.gm.o_recv,

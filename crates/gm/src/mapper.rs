@@ -191,10 +191,10 @@ pub fn map_network<T: ProbeTransport>(transport: &mut T) -> NetworkMap {
                 ProbeOutcome::Switch { serial: far } => {
                     if let std::collections::btree_map::Entry::Vacant(e) = switches.entry(far) {
                         e.insert(MapSwitch {
-                                serial: far,
-                                route: route.clone(),
-                                ports: vec![PortTarget::Unwired; usize::from(max_ports)],
-                            });
+                            serial: far,
+                            route: route.clone(),
+                            ports: vec![PortTarget::Unwired; usize::from(max_ports)],
+                        });
                         queue.push_back(far);
                     }
                     PortTarget::Switch(far)
@@ -290,14 +290,8 @@ impl NetworkMap {
                         .collect();
                     for pair in selfs.chunks(2) {
                         if let [x, y] = *pair {
-                            t.connect_switches(
-                                serial_ix[&sa],
-                                x,
-                                serial_ix[&sa],
-                                y,
-                                prop,
-                            )
-                            .expect("self-loop ports free");
+                            t.connect_switches(serial_ix[&sa], x, serial_ix[&sa], y, prop)
+                                .expect("self-loop ports free");
                         }
                     }
                     continue;
@@ -381,10 +375,7 @@ mod tests {
             assert_eq!(rec.num_links(), topo.num_links());
             // Neighbor multiset per switch serial matches.
             for s in topo.switch_ids() {
-                let mut real: Vec<u16> = topo
-                    .switch_neighbors(s)
-                    .map(|(_, _, n)| n.0)
-                    .collect();
+                let mut real: Vec<u16> = topo.switch_neighbors(s).map(|(_, _, n)| n.0).collect();
                 real.sort_unstable();
                 let msw = &map.switches[&u64::from(s.0)];
                 let mut seen: Vec<u16> = msw

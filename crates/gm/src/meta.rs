@@ -89,8 +89,11 @@ mod tests {
 
     #[test]
     fn data_roundtrip() {
-        for (msg, seq, last) in [(0u32, 0u32, false), (1, 7, true), ((1 << 29) - 1, u32::MAX, true)]
-        {
+        for (msg, seq, last) in [
+            (0u32, 0u32, false),
+            (1, 7, true),
+            ((1 << 29) - 1, u32::MAX, true),
+        ] {
             let m = PacketMeta::data(msg, seq, last);
             assert_eq!(PacketMeta::decode(m.encode()), m);
         }

@@ -78,7 +78,10 @@ fn itb_route_override_forwards_through_host() {
         AppBehavior::Echo,
     ];
     let mut p = fig6_params(McpFlavor::Itb, behaviors);
-    p.route_overrides = vec![figures::fig8_itb_route(&tb), figures::fig8_return_route(&tb)];
+    p.route_overrides = vec![
+        figures::fig8_itb_route(&tb),
+        figures::fig8_return_route(&tb),
+    ];
     let mut c = Cluster::new(p);
     let mut q = EventQueue::new();
     c.start(&mut q);
@@ -119,12 +122,18 @@ fn fig8_udvsitb_difference_at_cluster_level() {
         c.start(&mut q);
         run_while(&mut c, &mut q, |c| !c.all_pingpongs_done());
         let st = c.ping_state(tb.host1);
-        let mean_rtt: f64 = st.samples.iter().map(|&(_, d)| d.as_us_f64()).sum::<f64>()
-            / st.samples.len() as f64;
+        let mean_rtt: f64 =
+            st.samples.iter().map(|&(_, d)| d.as_us_f64()).sum::<f64>() / st.samples.len() as f64;
         mean_rtt / 2.0
     };
-    let ud = run(vec![figures::fig8_ud_route(&tb), figures::fig8_return_route(&tb)]);
-    let itb = run(vec![figures::fig8_itb_route(&tb), figures::fig8_return_route(&tb)]);
+    let ud = run(vec![
+        figures::fig8_ud_route(&tb),
+        figures::fig8_return_route(&tb),
+    ]);
+    let itb = run(vec![
+        figures::fig8_itb_route(&tb),
+        figures::fig8_return_route(&tb),
+    ]);
     // Only the h1->h2 direction carries the ITB, so — exactly as the paper
     // does — the per-ITB overhead is twice the half-round-trip difference.
     let overhead = (itb - ud) * 2.0;
@@ -180,7 +189,10 @@ fn flushed_packets_recover_via_retransmission() {
     run_until(&mut c, &mut q, SimTime::from_ms(200));
     assert_eq!(c.delivered_count(), 10, "reliability must recover flushes");
     let flushed = c.nic(tb.host2).stats().flushed;
-    assert!(flushed > 0, "the starved pool should have flushed something");
+    assert!(
+        flushed > 0,
+        "the starved pool should have flushed something"
+    );
     let retrans = c.host(tb.host1).tx[tb.host2.idx()].retransmissions;
     assert!(retrans > 0, "recovery must have used retransmissions");
 }
@@ -367,11 +379,7 @@ fn all_to_all_exchange_completes_exactly() {
     // Every ordered pair exchanged exactly one message.
     assert_eq!(c.messages().len(), n * (n - 1));
     assert_eq!(c.delivered_count(), n * (n - 1));
-    let mut pairs: Vec<(u16, u16)> = c
-        .messages()
-        .values()
-        .map(|r| (r.src.0, r.dst.0))
-        .collect();
+    let mut pairs: Vec<(u16, u16)> = c.messages().values().map(|r| (r.src.0, r.dst.0)).collect();
     pairs.sort_unstable();
     pairs.dedup();
     assert_eq!(pairs.len(), n * (n - 1), "no duplicate pair traffic");

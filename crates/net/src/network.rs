@@ -7,6 +7,8 @@
 use crate::config::{Arbitration, NetConfig};
 use crate::packet::{PacketDesc, PacketId, PacketState, TimelineEntry};
 use crate::stats::NetStats;
+use itb_obs::{LinkLoad, PacketTracer, Stage};
+use itb_sim::stats::Accum;
 use itb_sim::{SimDuration, SimTime};
 use itb_topo::{HostId, Node, PortIx, SwitchId, Topology};
 use std::collections::{HashMap, VecDeque};
@@ -200,19 +202,31 @@ pub struct Network {
     /// Timelines of retired packets (kept only when timelines are on).
     retired_timelines: Vec<(PacketId, Vec<TimelineEntry>)>,
     stats: NetStats,
+    /// Shared packet-lifecycle tracer: the network owns it because every
+    /// layer (NIC firmware, GM host software) holds `&mut Network` at its
+    /// instrumentation points. Disabled by default.
+    tracer: PacketTracer,
+    /// Durations of individual STOP-pause intervals, any channel (ns).
+    blocking: Accum,
 }
 
 impl Network {
     /// Build the model for `topo` under `cfg`.
     pub fn new(topo: Topology, cfg: NetConfig) -> Self {
-        assert!(cfg.flit_bytes >= 4, "head flit must carry the 4-byte early-recv window");
+        assert!(
+            cfg.flit_bytes >= 4,
+            "head flit must carry the 4-byte early-recv window"
+        );
         let nl = topo.num_links();
         let mut chans = Vec::with_capacity(nl * 2);
         for lid in topo.link_ids() {
             let link = topo.link(lid);
             for (from, to) in [(link.a, link.b), (link.b, link.a)] {
                 let source = match from.node {
-                    Node::Switch(sw) => ChanSource::SwitchOut { sw, port: from.port },
+                    Node::Switch(sw) => ChanSource::SwitchOut {
+                        sw,
+                        port: from.port,
+                    },
                     Node::Host(h) => ChanSource::HostTx(h),
                 };
                 let sink = match to.node {
@@ -239,10 +253,8 @@ impl Network {
             .switch_ids()
             .map(|s| (0..topo.switch_port_count(s)).map(|_| None).collect())
             .collect();
-        let mut out_chan: Vec<Vec<Option<u32>>> = inputs
-            .iter()
-            .map(|v| vec![None; v.len()])
-            .collect();
+        let mut out_chan: Vec<Vec<Option<u32>>> =
+            inputs.iter().map(|v| vec![None; v.len()]).collect();
         let mut host_tx: Vec<Option<u32>> = vec![None; topo.num_hosts()];
         let mut host_rx: Vec<Option<u32>> = vec![None; topo.num_hosts()];
         for (ci, c) in chans.iter().enumerate() {
@@ -287,6 +299,8 @@ impl Network {
             indications: Vec::new(),
             retired_timelines: Vec::new(),
             stats: NetStats::default(),
+            tracer: PacketTracer::default(),
+            blocking: Accum::new(),
         }
     }
 
@@ -303,6 +317,31 @@ impl Network {
     /// Counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// The shared packet-lifecycle tracer (read side).
+    pub fn tracer(&self) -> &PacketTracer {
+        &self.tracer
+    }
+
+    /// The shared packet-lifecycle tracer; enable/clear through this. Other
+    /// layers also record their firmware stages through it (the network owns
+    /// the tracer because every layer holds `&mut Network` at its
+    /// instrumentation points).
+    pub fn tracer_mut(&mut self) -> &mut PacketTracer {
+        &mut self.tracer
+    }
+
+    /// Record a lifecycle stage for a packet (single branch when disabled).
+    #[inline]
+    pub fn trace(&mut self, id: PacketId, stage: Stage, node: u32, t: SimTime) {
+        self.tracer.record(id.0, stage, node, t);
+    }
+
+    /// Distribution of individual STOP-pause interval lengths across all
+    /// channels, in nanoseconds (always on; one sample per resume).
+    pub fn blocking_times(&self) -> &Accum {
+        &self.blocking
     }
 
     /// Append a timeline entry for `id` (no-op unless
@@ -382,6 +421,16 @@ impl Network {
         self.on_ctrl(ch, paused, now, sched);
     }
 
+    /// Reserve the next packet id without injecting anything. Lets the NIC
+    /// layer record `host.inject` (and other pre-wire stages) against the
+    /// same stable id the packet will carry through the network; pass the id
+    /// to [`Network::inject_allocated`] when the send DMA is programmed.
+    pub fn allocate_packet_id(&mut self) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        id
+    }
+
     /// Inject a packet at `host`. `avail` bytes are sendable immediately
     /// (pass the packet's full wire length for ordinary sends); more can be
     /// released later with [`Network::extend_available`]. Returns the packet
@@ -394,12 +443,26 @@ impl Network {
         now: SimTime,
         sched: &mut impl NetSched,
     ) -> PacketId {
-        let id = PacketId(self.next_packet);
-        self.next_packet += 1;
+        let id = self.allocate_packet_id();
+        self.inject_allocated(id, host, desc, avail, now, sched);
+        id
+    }
+
+    /// [`Network::inject`] with a pre-reserved id from
+    /// [`Network::allocate_packet_id`].
+    pub fn inject_allocated(
+        &mut self,
+        id: PacketId,
+        host: HostId,
+        desc: PacketDesc,
+        avail: u32,
+        now: SimTime,
+        sched: &mut impl NetSched,
+    ) {
         let corrupted = self
             .cfg
             .corrupt_every
-            .is_some_and(|n| self.next_packet.is_multiple_of(n));
+            .is_some_and(|n| (id.0 + 1).is_multiple_of(n));
         let st = PacketState {
             desc,
             injected_at: now,
@@ -412,6 +475,7 @@ impl Network {
         self.packets.insert(id.0, st);
         self.stats.injected += 1;
         self.note(id, "inject", u32::from(host.0), now);
+        self.trace(id, Stage::NetInject, u32::from(host.0), now);
         let hp = &mut self.hosts[host.idx()];
         hp.tx_queue.push_back(HostTxPkt {
             id,
@@ -421,7 +485,6 @@ impl Network {
         });
         let ch = hp.tx_chan;
         self.try_send(ch, now, sched);
-        id
     }
 
     /// Re-inject a packet parked at an in-transit host. The `ITB | Length`
@@ -438,6 +501,7 @@ impl Network {
     ) {
         let total = self.packets[&id.0].wire_len();
         self.note(id, "reinject", u32::from(host.0), now);
+        self.trace(id, Stage::NetReinject, u32::from(host.0), now);
         let hp = &mut self.hosts[host.idx()];
         hp.tx_queue.push_back(HostTxPkt {
             id,
@@ -539,7 +603,13 @@ impl Network {
                 if inp.stopped && inp.occupancy <= self.cfg.go_threshold {
                     inp.stopped = false;
                     let up = inp.in_chan;
-                    sched.at(now + self.cfg.ctrl_latency, NetEvent::Ctrl { ch: up, stop: false });
+                    sched.at(
+                        now + self.cfg.ctrl_latency,
+                        NetEvent::Ctrl {
+                            ch: up,
+                            stop: false,
+                        },
+                    );
                 }
                 if tail {
                     inp.queue.pop_front();
@@ -609,7 +679,7 @@ impl Network {
                         }
                     };
                     if let Some(next_in) = next {
-                        self.assign_grant(ch, sw, next_in);
+                        self.assign_grant(ch, sw, next_in, now);
                     }
                 }
             }
@@ -618,7 +688,7 @@ impl Network {
     }
 
     /// Give output channel `ch` (on switch `sw`) to input port `in_port`.
-    fn assign_grant(&mut self, ch: u32, sw: SwitchId, in_port: PortIx) {
+    fn assign_grant(&mut self, ch: u32, sw: SwitchId, in_port: PortIx, now: SimTime) {
         let inp = self.inputs[sw.idx()][in_port.idx()]
             .as_mut()
             .expect("waiting input exists");
@@ -628,9 +698,11 @@ impl Network {
             .expect("requesting input has a front packet");
         debug_assert!(front.routed && !front.granted);
         front.granted = true;
+        let id = front.id;
         let c = &mut self.chans[ch as usize];
         c.grant = Some(in_port);
         c.last_granted = Some(in_port);
+        self.trace(id, Stage::NetLinkAcquire, u32::from(sw.0), now);
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the RxFlit event fields
@@ -682,16 +754,18 @@ impl Network {
                 if !inp.stopped && inp.occupancy >= cfg_stop {
                     inp.stopped = true;
                     let up = inp.in_chan;
-                    sched.at(now + self.cfg.ctrl_latency, NetEvent::Ctrl { ch: up, stop: true });
+                    sched.at(
+                        now + self.cfg.ctrl_latency,
+                        NetEvent::Ctrl { ch: up, stop: true },
+                    );
                 }
                 if head && is_front && !inp.route_pending {
                     self.schedule_front_routing(sw, port, now, sched);
                 } else if is_front && routed && granted {
                     // Body bytes for the worm being forwarded: kick the
                     // output serializer in case it idled out of bytes.
-                    let out =
-                        self.out_chan[sw.idx()][out_port.expect("routed has out port").idx()]
-                            .expect("routed to a cabled port");
+                    let out = self.out_chan[sw.idx()][out_port.expect("routed has out port").idx()]
+                        .expect("routed to a cabled port");
                     self.try_send(out, now, sched);
                 }
             }
@@ -718,6 +792,7 @@ impl Network {
                     self.indications
                         .push(HostIndication::HeadArrived { host: h, packet });
                     self.note(packet, "head", u32::from(h.0), now);
+                    self.trace(packet, Stage::NetHead, u32::from(h.0), now);
                 }
                 self.indications.push(HostIndication::BytesArrived {
                     host: h,
@@ -733,6 +808,7 @@ impl Network {
                         received,
                     });
                     self.note(packet, "tail", u32::from(h.0), now);
+                    self.trace(packet, Stage::NetTail, u32::from(h.0), now);
                 }
             }
         }
@@ -747,7 +823,9 @@ impl Network {
         now: SimTime,
         sched: &mut impl NetSched,
     ) {
-        let inp = self.inputs[sw.idx()][port.idx()].as_ref().expect("port exists");
+        let inp = self.inputs[sw.idx()][port.idx()]
+            .as_ref()
+            .expect("port exists");
         let Some(front) = inp.queue.front() else {
             return;
         };
@@ -794,14 +872,16 @@ impl Network {
         let inp = self.inputs[sw.idx()][port.idx()].as_mut().unwrap();
         inp.queue.front_mut().unwrap().out_port = Some(out_port);
         self.note(id, "route", u32::from(sw.0), now);
+        self.trace(id, Stage::NetRoute, u32::from(sw.0), now);
         let out = self.out_chan[sw.idx()][out_port.idx()]
             .unwrap_or_else(|| panic!("route byte names unwired port {out_port} at {sw}"));
         let c = &mut self.chans[out as usize];
         if c.grant.is_none() && !c.finishing {
-            self.assign_grant(out, sw, port);
+            self.assign_grant(out, sw, port, now);
             self.try_send(out, now, sched);
         } else {
             c.waiting.push_back(port);
+            self.trace(id, Stage::NetLinkBlock, u32::from(sw.0), now);
         }
     }
 
@@ -815,7 +895,9 @@ impl Network {
             c.paused_since = Some(now);
         } else {
             if let Some(since) = c.paused_since.take() {
-                c.paused_total += now - since;
+                let interval = now - since;
+                c.paused_total += interval;
+                self.blocking.add(interval.as_ns_f64());
             }
             self.try_send(ch, now, sched);
         }
@@ -844,6 +926,33 @@ impl Network {
                 let fwd = self.chans[lid.idx() * 2].bytes_sent;
                 let rev = self.chans[lid.idx() * 2 + 1].bytes_sent;
                 (lid, fwd, rev)
+            })
+            .collect()
+    }
+
+    /// Per-link traffic and blocking, in the unified observability shape:
+    /// one [`LinkLoad`] per cable, named `"<a>-<b>"` with endpoints `h<n>`
+    /// (host) or `s<n>` (switch). Forward is the a→b direction.
+    pub fn link_load(&self) -> Vec<LinkLoad> {
+        fn name(n: Node) -> String {
+            match n {
+                Node::Host(h) => format!("h{}", h.idx()),
+                Node::Switch(s) => format!("s{}", s.idx()),
+            }
+        }
+        self.topo
+            .link_ids()
+            .map(|lid| {
+                let link = self.topo.link(lid);
+                let fwd = &self.chans[lid.idx() * 2];
+                let rev = &self.chans[lid.idx() * 2 + 1];
+                LinkLoad {
+                    link: format!("{}-{}", name(link.a.node), name(link.b.node)),
+                    fwd_bytes: fwd.bytes_sent,
+                    rev_bytes: rev.bytes_sent,
+                    fwd_blocked_ns: fwd.paused_total.as_ns_f64() as u64,
+                    rev_blocked_ns: rev.paused_total.as_ns_f64() as u64,
+                }
             })
             .collect()
     }

@@ -217,7 +217,10 @@ fn crossing_worms_contend_for_output_port() {
         gap > ser / 2,
         "second worm should be delayed by contention (gap {gap}, ser {ser})"
     );
-    assert!(net.total_paused() > SimDuration::ZERO, "Stop&Go must engage");
+    assert!(
+        net.total_paused() > SimDuration::ZERO,
+        "Stop&Go must engage"
+    );
 }
 
 #[test]
@@ -432,9 +435,20 @@ fn self_loop_cable_roundtrip() {
         tb.host1,
         tb.host2,
         vec![
-            Hop::new(tb.sw0, 0),       // cable A to sw1
-            Hop { switch: tb.sw1, out_port: tb.topo.link(tb.loop_cable).a.port.min(tb.topo.link(tb.loop_cable).b.port) },
-            Hop { switch: tb.sw1, out_port: h2_port },
+            Hop::new(tb.sw0, 0), // cable A to sw1
+            Hop {
+                switch: tb.sw1,
+                out_port: tb
+                    .topo
+                    .link(tb.loop_cable)
+                    .a
+                    .port
+                    .min(tb.topo.link(tb.loop_cable).b.port),
+            },
+            Hop {
+                switch: tb.sw1,
+                out_port: h2_port,
+            },
         ],
     );
     assert!(route.is_well_formed(&tb.topo));
@@ -567,5 +581,8 @@ fn link_bytes_account_for_traffic() {
     // chain(2,1): link0 = sw0-sw1, link1 = h0 uplink, link2 = h1 uplink.
     let total_fwd: u64 = per_link.iter().map(|&(_, f, r)| f + r).sum();
     // Wire bytes shrink by one per switch: w + (w-1) + (w-2).
-    assert_eq!(total_fwd, u64::from(w) + u64::from(w - 1) + u64::from(w - 2));
+    assert_eq!(
+        total_fwd,
+        u64::from(w) + u64::from(w - 1) + u64::from(w - 2)
+    );
 }

@@ -35,7 +35,12 @@ impl HostDma {
     /// Submit a transfer. Returns `Some((job, completion_time))` when the
     /// engine was idle and starts immediately; the caller schedules the
     /// completion event. Returns `None` when queued behind other work.
-    pub fn submit(&mut self, job: DmaJob, now: SimTime, t: &McpTiming) -> Option<(DmaJob, SimTime)> {
+    pub fn submit(
+        &mut self,
+        job: DmaJob,
+        now: SimTime,
+        t: &McpTiming,
+    ) -> Option<(DmaJob, SimTime)> {
         if self.busy {
             self.queue.push_back(job);
             None

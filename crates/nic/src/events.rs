@@ -110,6 +110,9 @@ pub enum NicOutput {
     RecvComplete {
         /// Receiving host.
         host: HostId,
+        /// The delivered packet's id (retired from the network; kept so the
+        /// GM layer can record `host.deliver` against the same trace id).
+        packet: PacketId,
         /// Final descriptor (header reduced to `Type`; tag intact).
         desc: PacketDesc,
         /// Wire bytes received.

@@ -24,8 +24,8 @@ use crate::events::{CpuWork, DmaJob, NicEvent, NicOutput, NicSched, SendToken};
 use crate::stats::NicStats;
 use crate::timing::McpTiming;
 use itb_net::{HostIndication, NetSched, Network, PacketDesc, PacketId};
+use itb_obs::Stage;
 use itb_routing::wire::{TYPE_GM, TYPE_ITB};
-use itb_sim::trace::Trace;
 use itb_sim::SimTime;
 use itb_topo::HostId;
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +43,9 @@ pub enum McpFlavor {
 #[derive(Debug)]
 struct SendJob {
     token: SendToken,
+    /// Pre-reserved network packet id, so `host.inject` is traced against
+    /// the id the packet will carry once it actually enters the wire.
+    packet: PacketId,
     desc: Option<PacketDesc>,
     wire_len: u32,
     staged: u32,
@@ -92,7 +95,6 @@ pub struct Nic {
     deferred_heads: VecDeque<PacketId>,
     outputs: Vec<NicOutput>,
     stats: NicStats,
-    trace: Trace,
 }
 
 impl Nic {
@@ -112,18 +114,7 @@ impl Nic {
             outputs: Vec::new(),
             timing,
             stats: NicStats::default(),
-            trace: Trace::default(),
         }
-    }
-
-    /// Firmware-event trace (disabled unless [`Trace::enable`]d).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    /// Mutable access to the trace, e.g. to enable recording in tests.
-    pub fn trace_mut(&mut self) -> &mut Trace {
-        &mut self.trace
     }
 
     /// This NIC's host.
@@ -207,15 +198,17 @@ impl Nic {
         S: NicSched + NetSched,
     {
         let wire_len = desc.header.len() as u32 + desc.payload_len + 1;
+        let packet = net.allocate_packet_id();
+        net.trace(packet, Stage::HostInject, u32::from(self.host.0), now);
         self.send_queue.push_back(SendJob {
             token,
+            packet,
             desc: Some(desc),
             wire_len,
             staged: 0,
             staging: false,
         });
         self.pump_sdma(now, sched);
-        let _ = net;
     }
 
     /// Start staging queued sends into free SRAM buffers (as many as fit).
@@ -343,8 +336,6 @@ impl Nic {
                 // The LANai raises the high-priority Early Recv Packet event
                 // once four bytes are in; the handler checks the type.
                 self.stats.early_recv_events += 1;
-                self.trace
-                    .record(now, "mcp.early_recv", || format!("{packet:?}"));
                 let done = self.run_cpu(
                     now,
                     self.timing.dispatch_cycles + self.timing.early_check_cycles,
@@ -522,8 +513,6 @@ impl Nic {
             });
             return;
         }
-        self.trace
-            .record(now, "mcp.recv_finish", || format!("{packet:?}"));
         let mut cycles = self.timing.recv_finish_cycles;
         if self.flavor == McpFlavor::Itb {
             cycles += self.timing.itb_support_extra_cycles;
@@ -531,6 +520,7 @@ impl Nic {
         let done = self.run_cpu(now, cycles);
         // Timeline note at handler completion, so breakdowns see the CPU cost.
         net.note(packet, "nic.recv_finish", u32::from(self.host.0), done);
+        net.trace(packet, Stage::McpRecvFinish, u32::from(self.host.0), done);
         sched.nic_at(
             done,
             NicEvent::Cpu {
@@ -584,14 +574,14 @@ impl Nic {
         match work {
             CpuWork::EarlyRecv { packet } => {
                 net.note(packet, "nic.early_recv", u32::from(self.host.0), now);
+                net.trace(packet, Stage::McpEarlyRecv, u32::from(self.host.0), now);
                 let Some(st) = self.recv.get_mut(&packet.0) else {
                     return;
                 };
                 let ty = net.packet_type(packet);
                 if ty == Some(TYPE_ITB) {
                     self.stats.itb_detects += 1;
-                    self.trace
-                        .record(now, "mcp.itb_detect", || format!("{packet:?}"));
+                    net.trace(packet, Stage::McpItbDetect, u32::from(self.host.0), now);
                     // Queue behind the send DMA *and* behind any in-transit
                     // packets already waiting on the pending flag — jumping
                     // ahead of them would reorder same-flow packets (the
@@ -641,9 +631,8 @@ impl Nic {
                 };
                 // The DMA start latency is pure hardware after the handler
                 // retires: hand the packet to the network at `start`.
+                net.trace(packet, Stage::McpItbForward, u32::from(self.host.0), now);
                 let start = now + self.timing.dma_start;
-                self.trace
-                    .record(start, "mcp.itb_reinject", || format!("{packet:?}"));
                 net.reinject(self.host, packet, avail, start, sched);
             }
             CpuWork::SendProgram { token } => {
@@ -653,8 +642,9 @@ impl Nic {
                 };
                 let desc = job.desc.take().expect("programmed once");
                 let wire = job.wire_len;
+                let id = job.packet;
                 let start = now + self.timing.dma_start;
-                net.inject(self.host, desc, wire, start, sched);
+                net.inject_allocated(id, self.host, desc, wire, start, sched);
             }
             CpuWork::RecvFinish { packet } => {
                 // Start draining the packet to host memory.
@@ -686,6 +676,7 @@ impl Nic {
             }
             CpuWork::RecvDeliver { packet } => {
                 net.note(packet, "nic.deliver", u32::from(self.host.0), now);
+                net.trace(packet, Stage::NicDeliver, u32::from(self.host.0), now);
                 // Hand the message up and recycle the buffer.
                 let st = self.recv.remove(&packet.0).expect("delivering a packet");
                 self.on_buffer_freed(now, net, sched);
@@ -694,6 +685,7 @@ impl Nic {
                 self.stats.recvs += 1;
                 self.outputs.push(NicOutput::RecvComplete {
                     host: self.host,
+                    packet,
                     desc: ps.desc,
                     received: st.received,
                 });

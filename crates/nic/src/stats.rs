@@ -31,6 +31,14 @@ mod tests {
     #[test]
     fn default_zeroed() {
         let s = super::NicStats::default();
-        assert_eq!(s.sends + s.recvs + s.itb_detects + s.flushed, 0);
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.recvs, 0);
+        assert_eq!(s.early_recv_events, 0);
+        assert_eq!(s.itb_detects, 0);
+        assert_eq!(s.itb_forwards, 0);
+        assert_eq!(s.itb_pending_serviced, 0);
+        assert_eq!(s.flushed, 0);
+        assert_eq!(s.crc_drops, 0);
+        assert_eq!(s.rx_stalls, 0);
     }
 }

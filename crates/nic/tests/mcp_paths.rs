@@ -135,6 +135,7 @@ fn recv_completes(w: &World) -> Vec<(HostId, u64, u32, SimTime)> {
                 host,
                 desc,
                 received,
+                ..
             } => Some((*host, desc.tag, *received, t)),
             _ => None,
         })
@@ -354,36 +355,54 @@ fn cut_through_forward_starts_before_full_reception() {
 
 #[test]
 fn trace_records_causal_order_of_itb_forward() {
-    // Enable tracing on the in-transit NIC and verify the paper's event
-    // sequence: Early Recv fires, the ITB is detected, the send DMA is
-    // reprogrammed (re-injection), and no normal recv-finish ever runs for
-    // the forwarded packet.
+    // Enable the shared lifecycle tracer and verify the paper's event
+    // sequence at the in-transit host: Early Recv fires, the ITB is
+    // detected, the send DMA is reprogrammed (re-injection), and no normal
+    // recv-finish ever runs there for the forwarded packet.
+    use itb_obs::Stage;
     let tb = fig6_testbed();
     let mut w = World::new(tb.topo.clone(), McpFlavor::Itb);
-    w.nics[tb.itb_host.idx()].trace_mut().enable();
+    w.net.tracer_mut().enable();
     let mut q = EventQueue::new();
     let route = figures::fig8_itb_route(&tb);
     w.submit(tb.host1, 1, &route, 512, 1, SimTime::ZERO, &mut q);
     w.run(&mut q, 10_000_000);
 
-    let trace = w.nics[tb.itb_host.idx()].trace();
-    let early = trace.first("mcp.early_recv").expect("early recv traced");
-    let detect = trace.first("mcp.itb_detect").expect("detect traced");
-    let reinject = trace.first("mcp.itb_reinject").expect("reinject traced");
-    assert!(early.time <= detect.time, "early recv precedes detection");
-    assert!(detect.time < reinject.time, "detection precedes re-injection");
+    let trace = w.net.tracer();
+    let at_itb = |stage: Stage| {
+        trace
+            .events()
+            .iter()
+            .find(|e| e.stage == stage && e.node == u32::from(tb.itb_host.0))
+            .copied()
+    };
+    let early = at_itb(Stage::McpEarlyRecv).expect("early recv traced");
+    let detect = at_itb(Stage::McpItbDetect).expect("detect traced");
+    let forward = at_itb(Stage::McpItbForward).expect("forward traced");
+    let reinject = at_itb(Stage::NetReinject).expect("reinject traced");
+    assert!(early.t <= detect.t, "early recv precedes detection");
+    assert!(detect.t < forward.t, "detection precedes DMA reprogramming");
+    assert!(
+        forward.t < reinject.t,
+        "reprogramming precedes re-injection"
+    );
     // Detection-to-reinjection = program + dma_start.
     let t = McpTiming::lanai7();
-    let gap = (reinject.time - detect.time).as_ns_f64();
+    let gap = reinject.t.saturating_since(detect.t).as_ns_f64();
     let expect = t.cycles(t.itb_program_cycles).as_ns_f64() + t.dma_start.as_ns_f64();
     assert!(
         (gap - expect).abs() < 1.0,
         "forward gap {gap} ns vs calibrated {expect} ns"
     );
     assert!(
-        trace.first("mcp.recv_finish").is_none(),
+        at_itb(Stage::McpRecvFinish).is_none(),
         "forwarded packets must not take the normal receive path"
     );
+    // The destination host, by contrast, does run the receive path.
+    assert!(trace
+        .events()
+        .iter()
+        .any(|e| e.stage == Stage::McpRecvFinish && e.node == u32::from(tb.host2.0)));
 }
 
 #[test]
@@ -391,9 +410,19 @@ fn trace_disabled_by_default_and_costs_nothing() {
     let tb = fig6_testbed();
     let mut w = World::new(tb.topo.clone(), McpFlavor::Itb);
     let mut q = EventQueue::new();
-    w.submit(tb.host1, 1, &figures::fig7_route(&tb), 64, 1, SimTime::ZERO, &mut q);
+    w.submit(
+        tb.host1,
+        1,
+        &figures::fig7_route(&tb),
+        64,
+        1,
+        SimTime::ZERO,
+        &mut q,
+    );
     w.run(&mut q, 1_000_000);
-    assert!(w.nics[tb.host2.idx()].trace().records().is_empty());
+    assert!(!w.net.tracer().is_enabled());
+    assert!(w.net.tracer().events().is_empty());
+    assert_eq!(w.net.tracer().dropped(), 0);
 }
 
 #[test]

@@ -1,0 +1,30 @@
+//! # itb-obs — observability for the ITB/Myrinet reproduction
+//!
+//! One crate unifies what used to be three ad-hoc mechanisms (the NIC's
+//! private `sim::trace::Trace` ring, the network's per-packet timeline notes
+//! and the scattered `NetStats`/`NicStats` counters):
+//!
+//! * [`PacketTracer`] — a bounded, disabled-by-default recorder of typed
+//!   packet-lifecycle [`Stage`] events (`host.inject`, `mcp.early_recv`,
+//!   `mcp.itb_detect`, `mcp.itb_forward`, `net.link_acquire`,
+//!   `net.link_block`, `host.deliver`, …), keyed by the network's stable
+//!   packet id. Hot paths pay a single branch while tracing is off.
+//! * [`Snapshot`] — a unified metrics view (counters, per-link load,
+//!   wormhole blocking-time quantiles) with a [`Snapshot::delta`] API, all
+//!   serializable to JSON.
+//! * [`export`] — artifact writers: JSONL event dumps, Chrome
+//!   `trace_event` JSON (openable in Perfetto / `chrome://tracing`), and a
+//!   per-stage latency attribution that decomposes an end-to-end packet
+//!   latency into injection / wormhole transit / ITB-hop / delivery.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod stage;
+pub mod tracer;
+
+pub use export::{attribute, spans, Attribution, Span};
+pub use metrics::{LinkLoad, QuantileSummary, Snapshot};
+pub use stage::Stage;
+pub use tracer::{PacketTracer, StageEvent};

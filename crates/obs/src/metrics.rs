@@ -1,0 +1,236 @@
+//! The unified metrics registry: one snapshot type for every counter the
+//! stack exposes, with per-link load and wormhole blocking-time quantiles.
+
+use itb_sim::stats::Accum;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary quantiles of a distribution, extracted from an [`Accum`].
+///
+/// All values are in the unit the underlying samples were recorded in
+/// (nanoseconds everywhere in this workspace). NaN fields serialize as JSON
+/// `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// Sample count.
+    pub n: u64,
+    /// Sample mean (0 if empty).
+    pub mean: f64,
+    /// Smallest sample (NaN if empty).
+    pub min: f64,
+    /// Largest sample (NaN if empty).
+    pub max: f64,
+    /// Median estimate (~±9% relative error; NaN if empty).
+    pub p50: f64,
+    /// 95th percentile estimate (NaN if empty).
+    pub p95: f64,
+    /// 99th percentile estimate (NaN if empty).
+    pub p99: f64,
+}
+
+impl QuantileSummary {
+    /// An all-empty summary.
+    pub fn empty() -> Self {
+        QuantileSummary {
+            n: 0,
+            mean: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
+}
+
+impl From<&Accum> for QuantileSummary {
+    fn from(a: &Accum) -> Self {
+        QuantileSummary {
+            n: a.count(),
+            mean: a.mean(),
+            min: a.min(),
+            max: a.max(),
+            p50: a.p50(),
+            p95: a.p95(),
+            p99: a.p99(),
+        }
+    }
+}
+
+/// Traffic and contention on one physical link (host↔switch or
+/// switch↔switch), both directions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkLoad {
+    /// Stable link name, e.g. `"h0-s0"` or `"s0-s1"`.
+    pub link: String,
+    /// Bytes sent in the forward direction (first endpoint → second).
+    pub fwd_bytes: u64,
+    /// Bytes sent in the reverse direction.
+    pub rev_bytes: u64,
+    /// Nanoseconds the forward direction spent STOP-paused.
+    pub fwd_blocked_ns: u64,
+    /// Nanoseconds the reverse direction spent STOP-paused.
+    pub rev_blocked_ns: u64,
+}
+
+/// A point-in-time view of every metric the stack exposes.
+///
+/// Counters from all layers live in one flat namespace
+/// (`"net.injected"`, `"nic.3.itb_detects"`, …) so exporters and the
+/// [`Snapshot::delta`] API need no per-layer knowledge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Simulation time the snapshot was taken at, in nanoseconds.
+    pub at_ns: u64,
+    /// Monotonic counters, keyed by `layer.name` (sorted for stable output).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-link byte counts and blocking time.
+    pub links: Vec<LinkLoad>,
+    /// Distribution of per-interval wormhole blocking times (STOP-pause
+    /// durations observed on any channel), in nanoseconds.
+    pub blocking: QuantileSummary,
+}
+
+impl Snapshot {
+    /// An empty snapshot at time zero.
+    pub fn new() -> Self {
+        Snapshot {
+            at_ns: 0,
+            counters: BTreeMap::new(),
+            links: Vec::new(),
+            blocking: QuantileSummary::empty(),
+        }
+    }
+
+    /// The change since `base`: counter-wise and link-wise saturating
+    /// subtraction. The `blocking` distribution cannot be subtracted (it is
+    /// a summary, not raw samples), so the later snapshot's summary is kept
+    /// as-is.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let b = base.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(b))
+            })
+            .collect();
+        let links = self
+            .links
+            .iter()
+            .map(|l| {
+                let b = base.links.iter().find(|bl| bl.link == l.link);
+                match b {
+                    Some(b) => LinkLoad {
+                        link: l.link.clone(),
+                        fwd_bytes: l.fwd_bytes.saturating_sub(b.fwd_bytes),
+                        rev_bytes: l.rev_bytes.saturating_sub(b.rev_bytes),
+                        fwd_blocked_ns: l.fwd_blocked_ns.saturating_sub(b.fwd_blocked_ns),
+                        rev_blocked_ns: l.rev_blocked_ns.saturating_sub(b.rev_blocked_ns),
+                    },
+                    None => l.clone(),
+                }
+            })
+            .collect();
+        Snapshot {
+            at_ns: self.at_ns.saturating_sub(base.at_ns),
+            counters,
+            links,
+            blocking: self.blocking,
+        }
+    }
+
+    /// A counter value, defaulting to 0 when absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            panic!("snapshot serialization cannot fail: {e}");
+        })
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(scale: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.at_ns = 1000 * scale;
+        s.counters.insert("net.injected".into(), 10 * scale);
+        s.counters.insert("nic.0.itb_detects".into(), 3 * scale);
+        s.links.push(LinkLoad {
+            link: "h0-s0".into(),
+            fwd_bytes: 512 * scale,
+            rev_bytes: 64 * scale,
+            fwd_blocked_ns: 100 * scale,
+            rev_blocked_ns: 0,
+        });
+        s
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_links() {
+        let base = sample_snapshot(1);
+        let later = sample_snapshot(3);
+        let d = later.delta(&base);
+        assert_eq!(d.at_ns, 2000);
+        assert_eq!(d.counter("net.injected"), 20);
+        assert_eq!(d.counter("nic.0.itb_detects"), 6);
+        assert_eq!(d.counter("absent"), 0);
+        assert_eq!(d.links[0].fwd_bytes, 1024);
+        assert_eq!(d.links[0].fwd_blocked_ns, 200);
+    }
+
+    #[test]
+    fn delta_saturates_and_keeps_unmatched_links() {
+        let mut base = sample_snapshot(2);
+        base.counters.insert("only.in.base".into(), 5);
+        let mut later = sample_snapshot(1);
+        later.links.push(LinkLoad {
+            link: "s0-s1".into(),
+            fwd_bytes: 7,
+            rev_bytes: 0,
+            fwd_blocked_ns: 0,
+            rev_blocked_ns: 0,
+        });
+        let d = later.delta(&base);
+        // later < base saturates to zero instead of wrapping.
+        assert_eq!(d.counter("net.injected"), 0);
+        // Links absent from the base pass through unchanged.
+        assert_eq!(d.links[1].fwd_bytes, 7);
+    }
+
+    #[test]
+    fn quantile_summary_from_accum() {
+        let mut a = Accum::new();
+        for i in 1..=100 {
+            a.add(f64::from(i));
+        }
+        let q = QuantileSummary::from(&a);
+        assert_eq!(q.n, 100);
+        assert!((q.mean - 50.5).abs() < 1e-9);
+        assert!((q.p50 / 50.0 - 1.0).abs() < 0.15, "p50={}", q.p50);
+        let empty = QuantileSummary::empty();
+        assert!(empty.p99.is_nan());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let s = sample_snapshot(1);
+        let json = s.to_json();
+        assert!(json.contains("\"net.injected\": 10"));
+        assert!(json.contains("\"h0-s0\""));
+        // NaN quantiles render as null, keeping the JSON valid.
+        assert!(json.contains("\"p99\": null"));
+    }
+}

@@ -47,7 +47,11 @@ impl ChannelDepGraph {
                 // Channel sequence of this segment: host uplink, inter-switch
                 // links, host downlink.
                 let mut chain: Vec<Channel> = Vec::with_capacity(seg.hops.len() + 1);
-                chain.push(directed(topo, topo.host_link(seg.from), Node::Host(seg.from)));
+                chain.push(directed(
+                    topo,
+                    topo.host_link(seg.from),
+                    Node::Host(seg.from),
+                ));
                 for hop in &seg.hops {
                     let link = topo
                         .link_at(hop.switch, hop.out_port)

@@ -167,13 +167,12 @@ pub fn port_kind_profile(topo: &Topology, route: &SourceRoute) -> Vec<(PortKind,
             // The next hop's input port is the far end of this link.
             if let Some(link) = topo.link_at(hop.switch, hop.out_port) {
                 let l = topo.link(link);
-                let far = if l.a.node == itb_topo::Node::Switch(hop.switch)
-                    && l.a.port == hop.out_port
-                {
-                    l.b
-                } else {
-                    l.a
-                };
+                let far =
+                    if l.a.node == itb_topo::Node::Switch(hop.switch) && l.a.port == hop.out_port {
+                        l.b
+                    } else {
+                        l.a
+                    };
                 if let Some(far_sw) = far.node.as_switch() {
                     in_port_kind = topo.switch_port_kind(far_sw, far.port);
                 }
@@ -209,7 +208,11 @@ mod tests {
         let itb = fig8_itb_route(&tb);
         assert!(ud.is_well_formed(&tb.topo), "{ud:?}");
         assert!(itb.is_well_formed(&tb.topo), "{itb:?}");
-        assert_eq!(ud.total_crossings(), 5, "paper: both paths cross 5 switches");
+        assert_eq!(
+            ud.total_crossings(),
+            5,
+            "paper: both paths cross 5 switches"
+        );
         assert_eq!(itb.total_crossings(), 5);
         assert_eq!(ud.itb_count(), 0);
         assert_eq!(itb.itb_count(), 1);
@@ -238,8 +241,8 @@ mod tests {
             for hop in &seg.hops {
                 let link = tb.topo.link_at(hop.switch, hop.out_port).unwrap();
                 let l = tb.topo.link(link);
-                let a_to_b = l.a.node == itb_topo::Node::Switch(hop.switch)
-                    && l.a.port == hop.out_port;
+                let a_to_b =
+                    l.a.node == itb_topo::Node::Switch(hop.switch) && l.a.port == hop.out_port;
                 assert!(
                     seen.insert((link, a_to_b)),
                     "channel reused: link {link:?} dir {a_to_b}"

@@ -54,9 +54,8 @@ pub fn analyze(topo: &Topology, ud: &UpDown, table: &RouteTable) -> RouteSetMetr
         if visits_switch(route, root) {
             root_crossing += 1;
         }
-        let min = crate::updown::min_crossings(topo, route.src, route.dst)
-            .expect("distinct hosts")
-            - 1;
+        let min =
+            crate::updown::min_crossings(topo, route.src, route.dst).expect("distinct hosts") - 1;
         if links == min {
             minimal += 1;
         }
@@ -64,8 +63,7 @@ pub fn analyze(topo: &Topology, ud: &UpDown, table: &RouteTable) -> RouteSetMetr
             for hop in &seg.hops[..seg.hops.len() - 1] {
                 let link = topo.link_at(hop.switch, hop.out_port).unwrap();
                 let l = topo.link(link);
-                let a_to_b =
-                    l.a.node == Node::Switch(hop.switch) && l.a.port == hop.out_port;
+                let a_to_b = l.a.node == Node::Switch(hop.switch) && l.a.port == hop.out_port;
                 *load.entry((link.0, a_to_b)).or_default() += 1;
             }
         }
@@ -83,7 +81,11 @@ pub fn analyze(topo: &Topology, ud: &UpDown, table: &RouteTable) -> RouteSetMetr
         max_links,
         mean_itbs: total_itbs as f64 / n.max(1) as f64,
         root_crossing_fraction: root_crossing as f64 / n.max(1) as f64,
-        channel_imbalance: if mean_load > 0.0 { max_load / mean_load } else { 0.0 },
+        channel_imbalance: if mean_load > 0.0 {
+            max_load / mean_load
+        } else {
+            0.0
+        },
         minimal_fraction: minimal as f64 / n.max(1) as f64,
     }
 }
@@ -112,7 +114,10 @@ mod tests {
         let mi = analyze(&t, &ud, &itbt);
         // The paper's motivation, quantified:
         assert_eq!(mi.minimal_fraction, 1.0, "every switch has hosts → minimal");
-        assert!(mu.minimal_fraction < 1.0, "UD must lose minimality somewhere");
+        assert!(
+            mu.minimal_fraction < 1.0,
+            "UD must lose minimality somewhere"
+        );
         assert!(mi.mean_links <= mu.mean_links);
         assert!(
             mi.root_crossing_fraction <= mu.root_crossing_fraction,

@@ -73,12 +73,12 @@ impl Segment {
             };
             let l = topo.link(link);
             // Next switch must be the endpoint that is not this (node, port).
-            let next = if l.a.node == itb_topo::Node::Switch(w[0].switch) && l.a.port == w[0].out_port
-            {
-                l.b
-            } else {
-                l.a
-            };
+            let next =
+                if l.a.node == itb_topo::Node::Switch(w[0].switch) && l.a.port == w[0].out_port {
+                    l.b
+                } else {
+                    l.a
+                };
             if next.node != itb_topo::Node::Switch(w[1].switch) {
                 return false;
             }

@@ -235,11 +235,7 @@ impl ItbPlanner {
             hops: cur_hops,
         });
 
-        Ok(SourceRoute {
-            src,
-            dst,
-            segments,
-        })
+        Ok(SourceRoute { src, dst, segments })
     }
 
     /// Pick the in-transit host at `s` per the selection policy.
@@ -321,17 +317,9 @@ mod tests {
                     .unwrap()
                     .total_crossings()
                     - 1;
-                let links: usize = r
-                    .segments
-                    .iter()
-                    .map(|s| s.hops.len())
-                    .sum::<usize>()
-                    - 1
-                    - r.itb_count(); // each ITB adds one extra crossing, not a link
-                assert_eq!(
-                    links, min_links,
-                    "route {a}->{b} not minimal: {r:?}"
-                );
+                let links: usize =
+                    r.segments.iter().map(|s| s.hops.len()).sum::<usize>() - 1 - r.itb_count(); // each ITB adds one extra crossing, not a link
+                assert_eq!(links, min_links, "route {a}->{b} not minimal: {r:?}");
                 used_itb |= r.itb_count() > 0;
             }
         }
@@ -352,10 +340,9 @@ mod tests {
                     }
                     let itb = p.route(&t, &ud, a, b).unwrap();
                     let udr = shortest_updown(&t, &ud, a, b).unwrap();
-                    let itb_links: usize =
-                        itb.segments.iter().map(|s| s.hops.len()).sum::<usize>()
-                            - 1
-                            - itb.itb_count();
+                    let itb_links: usize = itb.segments.iter().map(|s| s.hops.len()).sum::<usize>()
+                        - 1
+                        - itb.itb_count();
                     let ud_links = udr.total_crossings() - 1;
                     assert!(
                         itb_links <= ud_links,
@@ -384,9 +371,7 @@ mod tests {
                     let r = p.route(&t, &ud, a, b).unwrap();
                     let min_links = min_crossings(&t, a, b).unwrap() - 1;
                     let links: usize =
-                        r.segments.iter().map(|s| s.hops.len()).sum::<usize>()
-                            - 1
-                            - r.itb_count();
+                        r.segments.iter().map(|s| s.hops.len()).sum::<usize>() - 1 - r.itb_count();
                     assert_eq!(links, min_links);
                 }
             }
@@ -463,11 +448,7 @@ mod tests {
                 }
                 let r = p.route(&t, &ud, HostId(a), HostId(b)).unwrap();
                 let min = min_crossings(&t, HostId(a), HostId(b)).unwrap();
-                assert_eq!(
-                    r.total_crossings(),
-                    min + r.itb_count(),
-                    "{a}->{b}: {r:?}"
-                );
+                assert_eq!(r.total_crossings(), min + r.itb_count(), "{a}->{b}: {r:?}");
             }
         }
     }

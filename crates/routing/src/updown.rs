@@ -198,7 +198,10 @@ mod tests {
                 }
             }
         }
-        assert!(detours > 0, "a 6-ring must force some non-minimal UD routes");
+        assert!(
+            detours > 0,
+            "a 6-ring must force some non-minimal UD routes"
+        );
     }
 
     #[test]
@@ -212,8 +215,7 @@ mod tests {
                     if a == b {
                         continue;
                     }
-                    let r = shortest_updown(&t, &ud, a, b)
-                        .expect("up*/down* is connected");
+                    let r = shortest_updown(&t, &ud, a, b).expect("up*/down* is connected");
                     assert!(r.is_well_formed(&t), "{a:?}->{b:?} seed {seed}");
                     assert_updown_legal(&t, &ud, &r);
                 }
@@ -252,7 +254,11 @@ mod tests {
         let t = ring(5, 1);
         assert_eq!(
             min_crossings(&t, HostId(0), HostId(2)),
-            Some(shortest_any(&t, HostId(0), HostId(2)).unwrap().total_crossings())
+            Some(
+                shortest_any(&t, HostId(0), HostId(2))
+                    .unwrap()
+                    .total_crossings()
+            )
         );
     }
 }

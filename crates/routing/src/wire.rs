@@ -95,11 +95,7 @@ impl Header {
         let mut tail: Vec<u8> = Vec::new();
         // Final type comes last before payload.
         for (i, seg) in route.segments.iter().enumerate().rev() {
-            let mut group: Vec<u8> = seg
-                .hops
-                .iter()
-                .map(|h| route_byte(h.out_port))
-                .collect();
+            let mut group: Vec<u8> = seg.hops.iter().map(|h| route_byte(h.out_port)).collect();
             if i == last {
                 group.extend_from_slice(&TYPE_GM.to_be_bytes());
             }

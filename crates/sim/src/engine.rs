@@ -23,11 +23,7 @@ pub trait World {
 ///
 /// Returns the number of events dispatched by this call. Events stamped
 /// exactly at `until` are still dispatched.
-pub fn run_until<W: World>(
-    world: &mut W,
-    queue: &mut EventQueue<W::Event>,
-    until: SimTime,
-) -> u64 {
+pub fn run_until<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, until: SimTime) -> u64 {
     let mut dispatched = 0;
     while let Some(t) = queue.peek_time() {
         if t > until {

@@ -149,7 +149,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -158,7 +160,9 @@ mod tests {
         let parent = SimRng::new(7);
         let mut c0 = parent.child(0);
         let mut c1 = parent.child(1);
-        let same = (0..64).filter(|_| c0.next_u64_raw() == c1.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| c0.next_u64_raw() == c1.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -4,14 +4,33 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
-/// Welford-style streaming accumulator: count, mean, variance, min, max.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Number of log-histogram sub-buckets per octave (power of two). Four per
+/// octave gives bucket edges ~19% apart, i.e. quantiles good to ~±9%.
+const ACCUM_SUB_BUCKETS: usize = 4;
+/// Total log-histogram buckets. Bucket 0 holds all samples `< 1`; the top
+/// bucket absorbs everything beyond `2^(256/4) = 2^64`.
+const ACCUM_BUCKETS: usize = 256;
+
+/// Welford-style streaming accumulator: count, mean, variance, min, max —
+/// plus approximate quantiles from a fixed-size log-linear histogram
+/// (lazy-allocated on the first sample, so empty accumulators stay tiny).
+///
+/// Serializes to a JSON summary object
+/// `{n, mean, stddev, min, max, p50, p95, p99}` rather than raw buckets.
+#[derive(Debug, Clone)]
 pub struct Accum {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Accum {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Accum {
@@ -23,7 +42,24 @@ impl Accum {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
         }
+    }
+
+    /// Log-histogram bucket index for a sample.
+    fn bucket_of(x: f64) -> usize {
+        if x.is_nan() || x < 1.0 {
+            // Sub-unit, zero, negative and NaN samples all land in bucket 0;
+            // quantile() clamps to the true min/max so they stay honest.
+            return 0;
+        }
+        let idx = (x.log2() * ACCUM_SUB_BUCKETS as f64).floor() as i64;
+        idx.clamp(0, ACCUM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Representative value for a bucket (its geometric midpoint).
+    fn bucket_value(idx: usize) -> f64 {
+        ((idx as f64 + 0.5) / ACCUM_SUB_BUCKETS as f64).exp2()
     }
 
     /// Record one sample.
@@ -34,6 +70,10 @@ impl Accum {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; ACCUM_BUCKETS];
+        }
+        self.buckets[Self::bucket_of(x)] += 1;
     }
 
     /// Record a duration sample in nanoseconds.
@@ -78,6 +118,38 @@ impl Accum {
         }
     }
 
+    /// Approximate quantile (`q` in `[0, 1]`) from the log-linear histogram:
+    /// geometric bucket midpoints, ~±9% relative error, clamped to the exact
+    /// observed `[min, max]`. NaN if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let target = ((q * self.n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (NaN if empty).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+    /// 95th-percentile estimate (NaN if empty).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+    /// 99th-percentile estimate (NaN if empty).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &Accum) {
         if other.n == 0 {
@@ -90,16 +162,40 @@ impl Accum {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if !other.buckets.is_empty() {
+            if self.buckets.is_empty() {
+                self.buckets = vec![0; ACCUM_BUCKETS];
+            }
+            for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+                *b += o;
+            }
+        }
     }
 }
+
+impl Serialize for Accum {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        Value::Object(vec![
+            ("n".to_string(), Value::UInt(self.n)),
+            ("mean".to_string(), Value::Float(self.mean())),
+            ("stddev".to_string(), Value::Float(self.stddev())),
+            ("min".to_string(), Value::Float(self.min())),
+            ("max".to_string(), Value::Float(self.max())),
+            ("p50".to_string(), Value::Float(self.p50())),
+            ("p95".to_string(), Value::Float(self.p95())),
+            ("p99".to_string(), Value::Float(self.p99())),
+        ])
+    }
+}
+
+impl Deserialize for Accum {}
 
 /// Fixed-width-bin histogram with overflow bin.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -314,7 +410,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (pm, p, pp) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (pm, p, pp) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         h + d / (pp - pm)
             * ((p - pm + d) * (hp - h) / (pp - p) + (pp - p - d) * (h - hm) / (p - pm))
     }
@@ -402,6 +502,80 @@ mod tests {
         assert_eq!(a.mean(), 0.0);
         assert_eq!(a.stddev(), 0.0);
         assert!(a.min().is_nan());
+    }
+
+    #[test]
+    fn accum_quantiles_track_uniform_stream() {
+        let mut a = Accum::new();
+        for i in 1..=10_000 {
+            a.add(f64::from(i));
+        }
+        // Log-bucket quantiles carry ~±9% relative error.
+        assert!((a.p50() / 5000.0 - 1.0).abs() < 0.10, "p50={}", a.p50());
+        assert!((a.p95() / 9500.0 - 1.0).abs() < 0.10, "p95={}", a.p95());
+        assert!((a.p99() / 9900.0 - 1.0).abs() < 0.10, "p99={}", a.p99());
+        // Quantiles never escape the observed range.
+        assert!(a.quantile(0.0) >= 1.0);
+        assert!(a.quantile(1.0) <= 10_000.0);
+    }
+
+    #[test]
+    fn accum_quantiles_handle_edge_samples() {
+        let empty = Accum::new();
+        assert!(empty.p50().is_nan());
+        let mut a = Accum::new();
+        a.add(0.0);
+        a.add(-3.0);
+        a.add(0.25);
+        // Sub-unit samples collapse into bucket 0; clamped to observed range.
+        assert!(a.p50() >= -3.0 && a.p50() <= 0.25, "p50={}", a.p50());
+        let mut one = Accum::new();
+        one.add(42.0);
+        assert!((one.p50() / 42.0 - 1.0).abs() < 0.10, "p50={}", one.p50());
+        assert_eq!(one.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn accum_merge_combines_quantiles() {
+        let mut left = Accum::new();
+        let mut right = Accum::new();
+        for i in 1..=500 {
+            left.add(f64::from(i));
+        }
+        for i in 501..=1000 {
+            right.add(f64::from(i));
+        }
+        left.merge(&right);
+        assert!(
+            (left.p50() / 500.0 - 1.0).abs() < 0.10,
+            "p50={}",
+            left.p50()
+        );
+        // Merging into an empty accumulator clones buckets too.
+        let mut fresh = Accum::new();
+        fresh.merge(&left);
+        assert!(
+            (fresh.p95() / 950.0 - 1.0).abs() < 0.10,
+            "p95={}",
+            fresh.p95()
+        );
+    }
+
+    #[test]
+    fn accum_serializes_to_summary_object() {
+        let mut a = Accum::new();
+        for x in [10.0, 20.0, 30.0] {
+            a.add(x);
+        }
+        let v = serde::Serialize::to_value(&a);
+        let serde::Value::Object(fields) = v else {
+            panic!("expected object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["n", "mean", "stddev", "min", "max", "p50", "p95", "p99"]
+        );
     }
 
     #[test]

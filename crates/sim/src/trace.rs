@@ -140,4 +140,65 @@ mod tests {
         assert!(t.records().is_empty());
         assert!(t.is_enabled());
     }
+
+    #[test]
+    fn clear_makes_room_again() {
+        let mut t = Trace::new(1);
+        t.enable();
+        t.record(SimTime::from_ns(1), "a", || "1".into());
+        t.record(SimTime::from_ns(2), "b", || "2".into());
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        t.record(SimTime::from_ns(3), "c", || "3".into());
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.first("c").unwrap().detail, "3");
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = Trace::new(0);
+        t.enable();
+        t.record(SimTime::ZERO, "x", String::new);
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn detail_closure_runs_only_for_kept_records() {
+        // The detail is built lazily so disabled traces and overflow drops
+        // pay no formatting cost — the property that makes in-loop record
+        // calls safe on hot paths.
+        let mut calls = 0;
+        let mut t = Trace::new(1);
+        t.record(SimTime::ZERO, "off", || {
+            calls += 1;
+            String::new()
+        });
+        assert_eq!(calls, 0, "disabled: closure must not run");
+        t.enable();
+        t.record(SimTime::ZERO, "kept", || {
+            calls += 1;
+            String::new()
+        });
+        assert_eq!(calls, 1);
+        t.record(SimTime::ZERO, "dropped", || {
+            calls += 1;
+            String::new()
+        });
+        assert_eq!(calls, 1, "overflow: closure must not run");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn disable_stops_recording_but_keeps_history() {
+        let mut t = Trace::new(8);
+        t.enable();
+        t.record(SimTime::from_ns(1), "a", || "1".into());
+        t.disable();
+        t.record(SimTime::from_ns(2), "b", || "2".into());
+        assert!(!t.is_enabled());
+        assert_eq!(t.records().len(), 1);
+        assert!(t.first("b").is_none());
+    }
 }

@@ -285,14 +285,15 @@ pub fn random_irregular(spec: &IrregularSpec) -> Topology {
         }
     }
 
-    let mut free_ports: Vec<u8> = vec![(spec.ports_per_switch - spec.hosts_per_switch) as u8; spec.switches];
+    let mut free_ports: Vec<u8> =
+        vec![(spec.ports_per_switch - spec.hosts_per_switch) as u8; spec.switches];
     let mut next_port: Vec<u8> = vec![spec.hosts_per_switch as u8; spec.switches];
     let mut linked = vec![vec![false; spec.switches]; spec.switches];
     let connect = |t: &mut Topology,
-                       free_ports: &mut Vec<u8>,
-                       next_port: &mut Vec<u8>,
-                       a: usize,
-                       b: usize| {
+                   free_ports: &mut Vec<u8>,
+                   next_port: &mut Vec<u8>,
+                   a: usize,
+                   b: usize| {
         let (pa, pb) = (next_port[a], next_port[b]);
         next_port[a] += 1;
         next_port[b] += 1;
@@ -374,14 +375,8 @@ mod tests {
         let t = &tb.topo;
         // Loop cable occupies LAN ports.
         let loop_link = t.link(tb.loop_cable);
-        assert_eq!(
-            t.switch_port_kind(tb.sw1, loop_link.a.port),
-            PortKind::Lan
-        );
-        assert_eq!(
-            t.switch_port_kind(tb.sw1, loop_link.b.port),
-            PortKind::Lan
-        );
+        assert_eq!(t.switch_port_kind(tb.sw1, loop_link.a.port), PortKind::Lan);
+        assert_eq!(t.switch_port_kind(tb.sw1, loop_link.b.port), PortKind::Lan);
         // Inter-switch cables occupy SAN ports.
         for lid in [tb.cable_a, tb.cable_b] {
             let l = t.link(lid);
@@ -461,7 +456,8 @@ mod tests {
         let a = random_irregular(&IrregularSpec::evaluation_default(10, 1));
         let b = random_irregular(&IrregularSpec::evaluation_default(10, 2));
         let differs = a.num_links() != b.num_links()
-            || a.link_ids().any(|l| a.link(l).a != b.link(l).a || a.link(l).b != b.link(l).b);
+            || a.link_ids()
+                .any(|l| a.link(l).a != b.link(l).a || a.link(l).b != b.link(l).b);
         assert!(differs);
     }
 
@@ -511,7 +507,9 @@ mod tests {
         // 2 links per switch (east + south) = 24 inter-switch links.
         let sw_links = t
             .link_ids()
-            .filter(|&l| t.link(l).a.node.as_switch().is_some() && t.link(l).b.node.as_switch().is_some())
+            .filter(|&l| {
+                t.link(l).a.node.as_switch().is_some() && t.link(l).b.node.as_switch().is_some()
+            })
             .count();
         assert_eq!(sw_links, 24);
     }

@@ -303,7 +303,10 @@ impl Topology {
     pub fn host_attachment(&self, h: HostId) -> (SwitchId, PortIx) {
         let link = self.link(self.host_link(h));
         let ep = link.opposite(Node::Host(h));
-        (ep.node.as_switch().expect("host wired to a switch"), ep.port)
+        (
+            ep.node.as_switch().expect("host wired to a switch"),
+            ep.port,
+        )
     }
 
     /// Hosts attached to switch `s`, in port order.

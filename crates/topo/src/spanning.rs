@@ -180,11 +180,7 @@ mod tests {
         let c = t.add_switch_uniform(8);
         for _ in 0..3 {
             let leaf = t.add_switch_uniform(4);
-            let port = t
-                .switch_ports(c)
-                .find(|(_, _, l)| l.is_none())
-                .unwrap()
-                .0;
+            let port = t.switch_ports(c).find(|(_, _, l)| l.is_none()).unwrap().0;
             t.connect_switches(c, port.0, leaf, 0, SimDuration::ZERO)
                 .unwrap();
         }

@@ -168,12 +168,7 @@ mod tests {
         t
     }
 
-    fn dir(
-        ud: &UpDown,
-        topo: &Topology,
-        link: LinkId,
-        from: SwitchId,
-    ) -> Direction {
+    fn dir(ud: &UpDown, topo: &Topology, link: LinkId, from: SwitchId) -> Direction {
         let port = topo.out_port(from, link);
         ud.direction_from(topo, link, from, port)
     }
@@ -230,10 +225,7 @@ mod tests {
         let lp = t.connect_switches(s2, 1, s2, 2, SimDuration::ZERO).unwrap();
         let ud = UpDown::compute_default(&t);
         // Up end is port 1 (lower). Leaving via port 1 is Down; via port 2 Up.
-        assert_eq!(
-            ud.direction_from(&t, lp, s2, PortIx(1)),
-            Direction::Down
-        );
+        assert_eq!(ud.direction_from(&t, lp, s2, PortIx(1)), Direction::Down);
         assert_eq!(ud.direction_from(&t, lp, s2, PortIx(2)), Direction::Up);
     }
 
@@ -248,7 +240,9 @@ mod tests {
         let mut indeg = vec![0usize; n];
         let mut adj: Vec<Vec<usize>> = vec![vec![]; n];
         for lid in topo.link_ids() {
-            let Some(up) = ud.up_switch(lid) else { continue };
+            let Some(up) = ud.up_switch(lid) else {
+                continue;
+            };
             let l = topo.link(lid);
             if l.is_self_loop() {
                 continue;

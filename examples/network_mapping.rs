@@ -41,7 +41,10 @@ fn main() {
             .iter()
             .filter(|t| matches!(t, PortTarget::Switch(_)))
             .count();
-        println!("  switch serial {serial}: {hosts} hosts, {cables} switch cables (route prefix len {})", sw.route.len());
+        println!(
+            "  switch serial {serial}: {hosts} hosts, {cables} switch cables (route prefix len {})",
+            sw.route.len()
+        );
     }
     if map.switches.len() > 3 {
         println!("  ... and {} more", map.switches.len() - 3);

@@ -9,7 +9,10 @@ fn main() {
     let sizes = [32u32, 128, 512, 2048];
 
     println!("Figure 6 testbed: half-round-trip latency, host1 <-> host2");
-    println!("{:>8} {:>16} {:>16} {:>12}", "bytes", "original (us)", "ITB MCP (us)", "delta (ns)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "bytes", "original (us)", "ITB MCP (us)", "delta (ns)"
+    );
 
     let run = |flavor: McpFlavor| {
         let spec = ClusterSpec::fig6_testbed()

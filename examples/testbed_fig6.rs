@@ -34,7 +34,9 @@ fn main() {
         );
     }
     let (avg, max) = f7.summary();
-    println!("average overhead: {avg:.0} ns (paper: ~125 ns); max: {max:.0} ns (paper: <= 300 ns)\n");
+    println!(
+        "average overhead: {avg:.0} ns (paper: ~125 ns); max: {max:.0} ns (paper: <= 300 ns)\n"
+    );
 
     // ------------------------------------------------------------------
     // Figure 8: per-ITB latency on the matched 5-crossing paths.

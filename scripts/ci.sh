@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, format. Run from the workspace root.
+# Everything here works without network access — all external dependencies
+# are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (tier-1: root package) =="
+cargo test -q
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

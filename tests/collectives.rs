@@ -43,9 +43,7 @@ fn permutation_exchange_has_no_retransmissions() {
     let mut cluster = spec2.build(behaviors);
     let mut q = itb_myrinet::sim::EventQueue::new();
     cluster.start(&mut q);
-    itb_myrinet::sim::run_while(&mut cluster, &mut q, |c| {
-        c.delivered_count() < n * 12
-    });
+    itb_myrinet::sim::run_while(&mut cluster, &mut q, |c| c.delivered_count() < n * 12);
     assert_eq!(cluster.delivered_count(), n * 12);
     let retrans: u64 = (0..n as u16)
         .map(|h| {

@@ -30,7 +30,10 @@ fn starved_receiver_recovers_all_messages() {
     c.start(&mut q);
     run_until(&mut c, &mut q, SimTime::from_ms(400));
     assert_eq!(c.delivered_count(), 20);
-    assert!(c.nic(tb.host2).stats().flushed > 0, "injection must trigger");
+    assert!(
+        c.nic(tb.host2).stats().flushed > 0,
+        "injection must trigger"
+    );
     assert!(
         c.host(tb.host1).tx[tb.host2.idx()].retransmissions > 0,
         "recovery must go through retransmission"
@@ -67,7 +70,11 @@ fn starved_in_transit_host_recovers_itb_traffic() {
     let mut q = EventQueue::new();
     c.start(&mut q);
     run_until(&mut c, &mut q, SimTime::from_ms(400));
-    assert_eq!(c.delivered_count(), 15, "all messages despite mid-path drops");
+    assert_eq!(
+        c.delivered_count(),
+        15,
+        "all messages despite mid-path drops"
+    );
     let itb_nic = c.nic(tb.itb_host);
     assert!(
         itb_nic.stats().itb_forwards > 0,
@@ -75,7 +82,10 @@ fn starved_in_transit_host_recovers_itb_traffic() {
     );
     // Either the ITB host or the final receiver flushed something.
     let drops = itb_nic.stats().flushed + c.nic(tb.host2).stats().flushed;
-    assert!(drops > 0, "starvation must have dropped at least one packet");
+    assert!(
+        drops > 0,
+        "starvation must have dropped at least one packet"
+    );
 }
 
 #[test]

@@ -17,7 +17,11 @@ fn net_spec() -> impl Strategy<Value = (usize, u64)> {
 }
 
 /// Check a route's segments all obey the up*/down* rule.
-fn segments_updown_legal(topo: &Topology, ud: &UpDown, r: &itb_myrinet::routing::SourceRoute) -> bool {
+fn segments_updown_legal(
+    topo: &Topology,
+    ud: &UpDown,
+    r: &itb_myrinet::routing::SourceRoute,
+) -> bool {
     for seg in &r.segments {
         let mut last: Option<Direction> = None;
         for hop in &seg.hops[..seg.hops.len() - 1] {

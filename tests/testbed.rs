@@ -53,8 +53,16 @@ fn fig8_headline_numbers_match_paper_band() {
     assert!((3.0..=15.0).contains(&s.relative_small_pct));
     // The overhead curve is flat: cut-through forwarding is size-independent.
     let over = f.overhead_us();
-    let spread = over.max_y() - over.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
-    assert!(spread < 0.3, "per-ITB overhead should be ~constant, spread {spread}");
+    let spread = over.max_y()
+        - over
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min);
+    assert!(
+        spread < 0.3,
+        "per-ITB overhead should be ~constant, spread {spread}"
+    );
 }
 
 #[test]
@@ -97,5 +105,8 @@ fn custom_pair_ping_pong_via_in_transit_host() {
         r.points[0].half_rtt_ns.mean(),
         r2.points[0].half_rtt_ns.mean(),
     );
-    assert!((a - b).abs() < 1_500.0, "pair latencies {a} vs {b} ns diverge");
+    assert!(
+        (a - b).abs() < 1_500.0,
+        "pair latencies {a} vs {b} ns diverge"
+    );
 }

@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use —
+//! groups, `bench_function`, `sample_size`, `throughput`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock time
+//! with `std::time::Instant` and printing mean/min per benchmark. No
+//! statistical analysis, no HTML reports; enough to compare hot paths
+//! offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            samples: 10,
+        }
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `family/param` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    family: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier under `family` for one `param` value.
+    pub fn new(family: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            family: family.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.family, self.param)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Record the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  (throughput: {n} elements/iter)"),
+            Throughput::Bytes(n) => println!("  (throughput: {n} bytes/iter)"),
+        }
+        self
+    }
+
+    /// Time `f` and print mean/min wall-clock per iteration.
+    pub fn bench_function<D: Display, F>(&mut self, id: D, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.samples),
+        };
+        // One warmup pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len().max(1) as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {id}: mean {mean:?}  min {min:?}  ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Time `f` against a borrowed input (criterion's `bench_with_input`).
+    pub fn bench_with_input<D: Display, I: ?Sized, F>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; its `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion runs batches; one call per
+    /// sample is accurate enough for these multi-millisecond simulations).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Bundle benchmark functions into one named runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::new("spin", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact trait surface it uses* — nothing more. The simulator
+//! implements its own xoshiro256** generator (`itb_sim::SimRng`) and only
+//! needs [`RngCore`] so external distribution adapters could be layered on
+//! top later without changing call sites.
+
+#![warn(missing_docs)]
+
+/// The core random-number-generator trait (API-compatible subset of
+/// `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrow)] // the point is that &mut R implements Rng
+    fn trait_object_and_ref_impls_work() {
+        let mut c = Counter(0);
+        assert_eq!((&mut c).next_u64(), 1);
+        let mut buf = [0u8; 3];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [2, 3, 4]);
+    }
+}

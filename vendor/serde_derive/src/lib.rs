@@ -1,0 +1,283 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` facade without `syn`/`quote` (unavailable offline): the
+//! item's token stream is walked by hand, and the generated impl is built as
+//! a string and re-parsed. Supports the shapes this workspace derives on —
+//! non-generic structs (named, tuple/newtype, unit) and enums (unit, tuple,
+//! struct variants). Generic items are rejected with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);` — arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (the vendored facade's value-tree trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (name, format!("::serde::Value::Object(vec![{entries}])"))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            // Newtype transparency, like real serde.
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (name, format!("::serde::Value::Array(vec![{entries}])"))
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (name, format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the no-op `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let vals = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Array(vec![{vals}]))]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Object(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, doc comments included).
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    // Skip visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic items (deriving `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: enum_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+/// Split a token stream on top-level commas (angle-bracket aware).
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Leading attrs + optional visibility stripped from one field/variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        match (&chunk[i], &chunk[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    if matches!(chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            chunk.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    &chunk[i..]
+}
+
+fn named_fields(ts: TokenStream) -> Vec<String> {
+    split_top_level(ts)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn tuple_arity(ts: TokenStream) -> usize {
+    split_top_level(ts).len()
+}
+
+fn enum_variants(ts: TokenStream) -> Vec<Variant> {
+    split_top_level(ts)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let shape = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(tuple_arity(g.stream()))
+                }
+                // `None` or `= disc` — both serialize as the bare name.
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

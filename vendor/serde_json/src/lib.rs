@@ -1,0 +1,171 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` crate's [`Value`](serde::Value) tree to JSON
+//! text. Only the output half of serde_json's API is provided ([`to_string`],
+//! [`to_string_pretty`]) — nothing in this workspace parses JSON back.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialization error. The vendored encoder is total over [`Value`], so this
+/// is never produced today, but callers match serde_json's `Result` API.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// serde_json-compatible result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Render `value` as pretty JSON (2-space indent, serde_json style).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Recursive renderer; `indent = None` means compact output.
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if !f.is_finite() {
+                // JSON has no NaN/Inf; serde_json errors, we emit null
+                // (lenient: artifacts stay loadable even if a stat degenerates).
+                out.push_str("null");
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_scalars() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi\n\"there\"").unwrap(), r#""hi\n\"there\"""#);
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn compact_containers() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        let pretty = {
+            let mut out = String::new();
+            render(&v, Some(2), 0, &mut out);
+            out
+        };
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+}
