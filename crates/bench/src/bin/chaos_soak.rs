@@ -1,0 +1,168 @@
+//! Chaos soak: stream traffic across the Figure 6 testbed's ITB path while
+//! a seeded fault schedule drops and corrupts packets, takes an
+//! inter-switch cable down, and crashes the in-transit host's NIC — then
+//! audit that GM's reliability layer still delivered every message exactly
+//! once and in order.
+//!
+//! `cargo run --release -p itb-bench --bin chaos_soak [--smoke]`
+//!
+//! `--smoke` runs a short deterministic schedule for CI; the artifact
+//! (`results/chaos_soak.json`) is byte-identical across runs of the same
+//! mode, which the CI determinism check relies on.
+
+use itb_core::ClusterSpec;
+use itb_gm::AppBehavior;
+use itb_net::FaultPlan;
+use itb_nic::McpFlavor;
+use itb_routing::figures;
+use itb_sim::{run_until, EventQueue, SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// The seeded fault schedule: background drop/corrupt noise on every link,
+/// one outage of the first inter-switch cable, one crash of the in-transit
+/// host's NIC. Both windows sit early enough to overlap live traffic even
+/// in smoke mode.
+fn fault_plan(tb: &itb_topo::builders::Fig6Testbed) -> FaultPlan {
+    FaultPlan::seeded(0xC4A05)
+        .with_drop_prob(0.005)
+        .with_corrupt_prob(0.003)
+        .with_down_window(tb.cable_a, SimTime::from_us(100), SimTime::from_us(250))
+        .with_crash(tb.itb_host, SimTime::from_us(1050), SimTime::from_us(1400))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let count: u32 = if smoke { 40 } else { 400 };
+    let size: u32 = 1024;
+    let horizon = SimTime::from_ms(if smoke { 500 } else { 5000 });
+
+    let base = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Itb)
+        .with_flush_on_overflow(true);
+    let tb = base.testbed.clone().expect("testbed spec");
+    let plan = fault_plan(&tb);
+    let spec = base
+        .with_route_override(figures::fig8_itb_route(&tb))
+        .with_route_override(figures::fig8_return_route(&tb))
+        .with_faults(plan.clone());
+
+    // host1 and host2 stream at each other through the fault zone; the
+    // in-transit host only forwards (and crashes mid-run).
+    let mut behaviors = vec![AppBehavior::Sink; spec.num_hosts()];
+    behaviors[tb.host1.idx()] = AppBehavior::Stream {
+        dst: tb.host2,
+        size,
+        count,
+    };
+    behaviors[tb.host2.idx()] = AppBehavior::Stream {
+        dst: tb.host1,
+        size,
+        count,
+    };
+    let total = 2 * count as usize;
+
+    eprintln!(
+        "chaos soak ({}): {total} x {size} B messages under plan seed {:#x}...",
+        if smoke { "smoke" } else { "full" },
+        plan.seed
+    );
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    // Advance in slices so the run stops soon after the last delivery (or
+    // at the horizon if something was lost).
+    let mut now = SimTime::ZERO;
+    while c.delivered_count() < total && now < horizon {
+        now += SimDuration::from_ms(1);
+        run_until(&mut c, &mut q, now);
+    }
+    let snap = c.metrics_snapshot(now);
+
+    // ---- the exactly-once / in-order audit -------------------------------
+    assert_eq!(
+        c.delivered_count(),
+        total,
+        "every message must survive the fault schedule"
+    );
+    assert_eq!(
+        snap.counters["gm.app_deliveries"], total as u64,
+        "no duplicate application deliveries"
+    );
+    let log = c.delivery_log();
+    let unique: HashSet<u32> = log.iter().map(|&(_, _, id)| id).collect();
+    assert_eq!(unique.len(), total, "each message delivered exactly once");
+    for &(from, to) in &[(tb.host1, tb.host2), (tb.host2, tb.host1)] {
+        let ids: Vec<u32> = log
+            .iter()
+            .filter(|&&(f, t, _)| f == from && t == to)
+            .map(|&(_, _, id)| id)
+            .collect();
+        assert_eq!(ids.len(), count as usize, "flow {from:?}->{to:?} complete");
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "flow {from:?}->{to:?} delivered in order"
+        );
+    }
+    assert!(
+        c.connection_failures().is_empty(),
+        "the schedule must be survivable without abandoning a connection"
+    );
+
+    // ---- the faults must actually have fired -----------------------------
+    let injected = snap.counters["net.fault_drops"]
+        + snap.counters["net.fault_corrupts"]
+        + snap.counters["net.link_down_drops"];
+    assert!(injected > 0, "the fault plan injected nothing");
+    assert_eq!(snap.counters["gm.crashes_injected"], 1, "one NIC crash");
+    let recovered = snap.counters["gm.retransmissions"];
+    assert!(recovered > 0, "recovery must have used retransmissions");
+
+    println!("# Chaos soak — seeded faults vs GM reliability (ITB path)");
+    println!("messages delivered   : {total} / {total} (exactly once, in order)");
+    println!("sim time             : {:.1} us", now.as_us_f64());
+    for key in [
+        "net.fault_drops",
+        "net.fault_corrupts",
+        "net.link_down_drops",
+        "gm.crashes_injected",
+        "gm.retransmissions",
+        "gm.duplicates",
+        "gm.drops_observed",
+        "gm.packets_abandoned",
+        "gm.connections_failed",
+    ] {
+        println!("{key:<21}: {}", snap.counters[key]);
+    }
+    let crash_flushes = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(".crash_flushes"))
+        .map(|(_, v)| v)
+        .sum::<u64>();
+    println!("nic crash_flushes    : {crash_flushes}");
+
+    #[derive(serde::Serialize)]
+    struct Artifact {
+        mode: &'static str,
+        messages: usize,
+        message_bytes: u32,
+        sim_time_us: f64,
+        plan: FaultPlan,
+        exactly_once: bool,
+        in_order: bool,
+        counters: std::collections::BTreeMap<String, u64>,
+    }
+    itb_bench::dump_json(
+        "chaos_soak",
+        &Artifact {
+            mode: if smoke { "smoke" } else { "full" },
+            messages: total,
+            message_bytes: size,
+            sim_time_us: now.as_us_f64(),
+            plan,
+            exactly_once: true,
+            in_order: true,
+            counters: snap.counters.clone(),
+        },
+    );
+}

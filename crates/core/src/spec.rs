@@ -27,6 +27,8 @@ pub struct ClusterSpec {
     pub itb_selection: itb_routing::planner::ItbHostSelection,
     /// Hand-built route overrides.
     pub overrides: Vec<SourceRoute>,
+    /// Fault-injection plan ([`itb_net::FaultPlan::default`] = no faults).
+    pub faults: itb_net::FaultPlan,
     /// Traffic seed.
     pub seed: u64,
 }
@@ -42,6 +44,7 @@ impl ClusterSpec {
             routing: RoutingPolicy::UpDown,
             itb_selection: itb_routing::planner::ItbHostSelection::RoundRobin,
             overrides: Vec::new(),
+            faults: itb_net::FaultPlan::default(),
             seed: 0,
         }
     }
@@ -128,6 +131,13 @@ impl ClusterSpec {
         self
     }
 
+    /// Install a fault-injection plan (probabilistic link faults, link-down
+    /// windows, NIC crashes). See [`itb_net::FaultPlan`].
+    pub fn with_faults(mut self, plan: itb_net::FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// The wired topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -150,6 +160,7 @@ impl ClusterSpec {
             gm: self.calib.gm,
             behaviors,
             route_overrides: self.overrides.clone(),
+            faults: self.faults.clone(),
             seed: self.seed,
         })
     }

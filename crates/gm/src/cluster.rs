@@ -2,9 +2,9 @@
 
 use crate::apps::{AppBehavior, PingPongState};
 use crate::config::GmConfig;
-use crate::host::{Host, RxAction};
+use crate::host::{Host, RetransDecision, RxAction};
 use crate::meta::{Kind, PacketMeta};
-use itb_net::{NetConfig, NetEvent, NetSched, Network, PacketDesc};
+use itb_net::{FaultPlan, HostCrash, NetConfig, NetEvent, NetSched, Network, PacketDesc};
 use itb_nic::{McpFlavor, McpTiming, Nic, NicEvent, NicOutput, NicSched};
 use itb_routing::planner::ItbHostSelection;
 use itb_routing::{RouteTable, RoutingPolicy, SourceRoute};
@@ -58,6 +58,17 @@ pub enum HostEvent {
         host: HostId,
         /// Peer.
         peer: HostId,
+    },
+    /// Scheduled fault: the host's NIC crashes, flushing its in-transit
+    /// packets and discarding arrivals until recovery.
+    NicCrash {
+        /// Crashing host.
+        host: HostId,
+    },
+    /// Scheduled fault: the host's NIC comes back up.
+    NicRecover {
+        /// Recovering host.
+        host: HostId,
     },
 }
 
@@ -127,6 +138,9 @@ pub struct ClusterParams {
     /// Hand-built routes to install over the computed table (the Figure 6
     /// evaluation paths).
     pub route_overrides: Vec<SourceRoute>,
+    /// Fault-injection plan (link drop/corrupt probabilities, link-down
+    /// windows, NIC crashes). [`FaultPlan::default`] injects nothing.
+    pub faults: FaultPlan,
     /// Master seed for traffic randomness.
     pub seed: u64,
 }
@@ -148,6 +162,13 @@ pub struct Cluster {
     next_token: u64,
     pending_submissions: HashMap<u64, PacketDesc>,
     gm: GmConfig,
+    crashes: Vec<HostCrash>,
+    connection_failures: Vec<(HostId, HostId)>,
+    delivery_log: Vec<(HostId, HostId, u32)>,
+    app_deliveries: u64,
+    drops_observed: u64,
+    packets_abandoned: u64,
+    crashes_injected: u64,
 }
 
 impl Cluster {
@@ -189,8 +210,13 @@ impl Cluster {
             .collect();
         let master = SimRng::new(p.seed);
         let rngs = (0..n as u64).map(|h| master.child(h)).collect();
+        for c in &p.faults.crashes {
+            assert!(c.host.idx() < n, "crash target must be a real host");
+        }
+        let mut net = Network::new(p.topo, p.net);
+        net.set_fault_plan(&p.faults);
         Cluster {
-            net: Network::new(p.topo, p.net),
+            net,
             nics,
             hosts,
             ping: vec![PingPongState::default(); n],
@@ -204,11 +230,28 @@ impl Cluster {
             next_token: 0,
             pending_submissions: HashMap::new(),
             gm: p.gm,
+            crashes: p.faults.crashes,
+            connection_failures: Vec::new(),
+            delivery_log: Vec::new(),
+            app_deliveries: 0,
+            drops_observed: 0,
+            packets_abandoned: 0,
+            crashes_injected: 0,
         }
     }
 
-    /// Kick off every host's application.
+    /// Kick off every host's application and schedule planned NIC crashes.
     pub fn start(&mut self, q: &mut EventQueue<ClusterEvent>) {
+        for c in self.crashes.clone() {
+            q.schedule(
+                c.at,
+                ClusterEvent::Host(HostEvent::NicCrash { host: c.host }),
+            );
+            q.schedule(
+                c.until,
+                ClusterEvent::Host(HostEvent::NicRecover { host: c.host }),
+            );
+        }
         for h in 0..self.behaviors.len() {
             let host = HostId(h as u16);
             match &self.behaviors[h] {
@@ -268,6 +311,18 @@ impl Cluster {
             .count()
     }
 
+    /// Connections that exhausted their retry budget, as `(sender, peer)`
+    /// pairs in failure order.
+    pub fn connection_failures(&self) -> &[(HostId, HostId)] {
+        &self.connection_failures
+    }
+
+    /// Every application delivery in order, as `(from, to, msg_id)` — the
+    /// exactly-once/in-order evidence the chaos harness audits.
+    pub fn delivery_log(&self) -> &[(HostId, HostId, u32)] {
+        &self.delivery_log
+    }
+
     /// One unified metrics snapshot across all layers at time `now`:
     /// network and per-NIC counters in a flat `layer.name` namespace,
     /// per-link byte/blocking loads and the wormhole blocking-time
@@ -281,6 +336,11 @@ impl Cluster {
         s.counters.insert("net.delivered".into(), n.delivered);
         s.counters
             .insert("net.bytes_delivered".into(), n.bytes_delivered);
+        s.counters.insert("net.fault_drops".into(), n.fault_drops);
+        s.counters
+            .insert("net.fault_corrupts".into(), n.fault_corrupts);
+        s.counters
+            .insert("net.link_down_drops".into(), n.link_down_drops);
         for (i, nic) in self.nics.iter().enumerate() {
             let st = nic.stats();
             for (name, v) in [
@@ -293,10 +353,36 @@ impl Cluster {
                 ("flushed", st.flushed),
                 ("crc_drops", st.crc_drops),
                 ("rx_stalls", st.rx_stalls),
+                ("crash_flushes", st.crash_flushes),
             ] {
                 s.counters.insert(format!("nic.{i}.{name}"), v);
             }
         }
+        let retransmissions: u64 = self
+            .hosts
+            .iter()
+            .flat_map(|h| h.tx.iter().map(|c| c.retransmissions))
+            .sum();
+        let duplicates: u64 = self
+            .hosts
+            .iter()
+            .flat_map(|h| h.rx.iter().map(|c| c.duplicates))
+            .sum();
+        s.counters
+            .insert("gm.retransmissions".into(), retransmissions);
+        s.counters.insert("gm.duplicates".into(), duplicates);
+        s.counters
+            .insert("gm.app_deliveries".into(), self.app_deliveries);
+        s.counters
+            .insert("gm.drops_observed".into(), self.drops_observed);
+        s.counters.insert(
+            "gm.connections_failed".into(),
+            self.connection_failures.len() as u64,
+        );
+        s.counters
+            .insert("gm.packets_abandoned".into(), self.packets_abandoned);
+        s.counters
+            .insert("gm.crashes_injected".into(), self.crashes_injected);
         s.links = self.net.link_load();
         s.blocking = itb_obs::QuantileSummary::from(self.net.blocking_times());
         s
@@ -427,7 +513,9 @@ impl Cluster {
                 // by the drivers' request-response structure.
             }
             NicOutput::Flushed { .. } => {
-                // Lost packet: the reliability layer will retransmit.
+                // Lost packet: the reliability layer will retransmit. Count
+                // it so flush losses are always visible in metrics.
+                self.drops_observed += 1;
             }
             NicOutput::RecvComplete {
                 host, packet, desc, ..
@@ -516,30 +604,54 @@ impl Cluster {
                 msg_id,
             } => self.on_app_deliver(host, from, len, msg_id, now, q),
             HostEvent::RetransCheck { host, peer } => {
-                let due = self.hosts[host.idx()].due_retransmissions(peer, now);
-                for pkt in due {
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    let desc = PacketDesc {
-                        header: self.hosts[host.idx()].header_for(pkt.dst),
-                        payload_len: pkt.payload_len + GM_PKT_OVERHEAD,
-                        tag: pkt.tag,
-                        src: host,
-                    };
-                    self.pending_submissions.insert(token, desc);
-                    q.schedule(
-                        now + self.gm.o_send_per_packet,
-                        ClusterEvent::Host(HostEvent::SubmitPacket { host, token }),
-                    );
+                match self.hosts[host.idx()].check_retransmissions(peer, now) {
+                    RetransDecision::Failed { abandoned } => {
+                        // Retry budget gone: surface the failure instead of
+                        // resending forever, and disarm the timer.
+                        self.connection_failures.push((host, peer));
+                        self.packets_abandoned += abandoned as u64;
+                        self.hosts[host.idx()].tx[peer.idx()].timer_armed = false;
+                        return;
+                    }
+                    RetransDecision::Resend(due) => {
+                        for (i, pkt) in due.into_iter().enumerate() {
+                            let token = self.next_token;
+                            self.next_token += 1;
+                            let desc = PacketDesc {
+                                header: self.hosts[host.idx()].header_for(pkt.dst),
+                                payload_len: pkt.payload_len + GM_PKT_OVERHEAD,
+                                tag: pkt.tag,
+                                src: host,
+                            };
+                            self.pending_submissions.insert(token, desc);
+                            // Stagger resends by the per-packet posting cost,
+                            // exactly like fresh sends in `pump_conn`.
+                            q.schedule(
+                                now + self.gm.o_send_per_packet * (i as u64 + 1),
+                                ClusterEvent::Host(HostEvent::SubmitPacket { host, token }),
+                            );
+                        }
+                    }
+                    RetransDecision::Idle => {}
                 }
                 if self.hosts[host.idx()].has_unacked(peer) {
+                    // Re-arm at the current (possibly backed-off) timeout.
+                    let delay = self.hosts[host.idx()].retrans_delay(peer);
                     q.schedule(
-                        now + self.gm.retrans_timeout,
+                        now + delay,
                         ClusterEvent::Host(HostEvent::RetransCheck { host, peer }),
                     );
                 } else {
                     self.hosts[host.idx()].tx[peer.idx()].timer_armed = false;
                 }
+            }
+            HostEvent::NicCrash { host } => {
+                self.crashes_injected += 1;
+                let mut sink = Sink(q);
+                self.nics[host.idx()].crash(now, &mut self.net, &mut sink);
+            }
+            HostEvent::NicRecover { host } => {
+                self.nics[host.idx()].recover();
             }
         }
     }
@@ -623,6 +735,8 @@ impl Cluster {
             debug_assert_eq!(rec.len, len, "reassembled length matches");
             rec.delivered_at = Some(now);
         }
+        self.app_deliveries += 1;
+        self.delivery_log.push((from, host, msg_id));
         match self.behaviors[host.idx()].clone() {
             AppBehavior::Echo => {
                 self.send_message(host, from, len, now, q);

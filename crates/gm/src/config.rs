@@ -23,6 +23,16 @@ pub struct GmConfig {
     pub reliability: bool,
     /// Retransmission timeout for the oldest unacknowledged packet.
     pub retrans_timeout: SimDuration,
+    /// Ceiling on the exponentially backed-off retransmission timeout. The
+    /// effective timeout after `k` fruitless rounds is
+    /// `min(retrans_timeout * 2^k, retrans_backoff_cap)`; any ACK progress
+    /// resets `k` to zero.
+    pub retrans_backoff_cap: SimDuration,
+    /// Consecutive fruitless retransmission rounds before the connection is
+    /// declared failed and its pending traffic abandoned (surfaced as a
+    /// `ConnectionFailed` indication). `0` retries forever, which is GM's
+    /// historical behaviour.
+    pub max_retries: u32,
     /// Maximum packets in flight (unacknowledged) per connection — GM's
     /// send-token flow control. Only meaningful with reliability on.
     pub send_window: u32,
@@ -40,6 +50,8 @@ impl Default for GmConfig {
             o_ack: SimDuration::from_ns(400),
             reliability: true,
             retrans_timeout: SimDuration::from_ms(1),
+            retrans_backoff_cap: SimDuration::from_ms(32),
+            max_retries: 25,
             send_window: 8,
         }
     }
@@ -75,6 +87,8 @@ mod tests {
         let c = GmConfig::default();
         assert!(c.reliability);
         assert!(c.retrans_timeout > c.o_send);
+        assert!(c.retrans_backoff_cap >= c.retrans_timeout);
+        assert!(c.max_retries > 0);
         assert!(c.mtu >= 512);
     }
 }

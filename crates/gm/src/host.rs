@@ -4,16 +4,43 @@ use crate::config::GmConfig;
 use crate::meta::{Kind, PacketMeta};
 use itb_routing::wire::Header;
 use itb_routing::RouteTable;
-use itb_sim::SimTime;
+use itb_sim::{SimDuration, SimTime};
 use itb_topo::HostId;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Serial-number "less than" over the full `u32` ring (RFC 1982 style):
+/// `a` precedes `b` when the forward distance from `a` to `b` is under half
+/// the sequence space. Plain `<` breaks at the `u32::MAX -> 0` wrap; the
+/// window bound (`send_window` packets) keeps live sequences well inside
+/// half the ring, so this ordering is unambiguous.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 31)
+}
+
+/// Serial-number "less than or equal" (see [`seq_lt`]).
+#[inline]
+pub fn seq_leq(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) < (1 << 31)
+}
+
+/// The retransmission timeout after `exp` consecutive fruitless rounds:
+/// `base * 2^exp`, clamped to `cap` (and never below `base`).
+#[inline]
+pub fn effective_timeout(base: SimDuration, cap: SimDuration, exp: u32) -> SimDuration {
+    let base_ps = base.as_ps();
+    let scaled = base_ps.saturating_mul(1u64 << exp.min(20));
+    SimDuration::from_ps(scaled.min(cap.as_ps().max(base_ps)))
+}
+
 /// A packet the sender must be able to retransmit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredPacket {
     /// Destination host.
     pub dst: HostId,
+    /// Sequence number on the connection.
+    pub seq: u32,
     /// Payload bytes.
     pub payload_len: u32,
     /// Encoded metadata tag.
@@ -36,15 +63,23 @@ pub struct QueuedPacket {
 /// Sender half of a connection to one peer.
 #[derive(Debug, Default)]
 pub struct ConnTx {
-    /// Next sequence number to assign.
+    /// Next sequence number to assign (wraps).
     pub next_seq: u32,
     /// Segmented packets not yet released to the NIC (window closed).
-    pub send_queue: std::collections::VecDeque<QueuedPacket>,
-    /// Unacknowledged packets by sequence number (only packets actually
-    /// handed to the NIC — GM's send tokens bound this to the window).
-    pub unacked: BTreeMap<u32, StoredPacket>,
+    pub send_queue: VecDeque<QueuedPacket>,
+    /// Unacknowledged packets in sequence order, oldest first (only packets
+    /// actually handed to the NIC — GM's send tokens bound this to the
+    /// window). A deque rather than a map keyed by sequence: sequence
+    /// numbers wrap, so numeric key order is not transmission order.
+    pub unacked: VecDeque<StoredPacket>,
     /// Whether a retransmission check is scheduled.
     pub timer_armed: bool,
+    /// Consecutive retransmission rounds without ACK progress (drives the
+    /// exponential backoff; reset by any cumulative ACK that frees packets).
+    pub backoff_exp: u32,
+    /// The retry budget ran out: the connection is dead, pending traffic
+    /// was abandoned, and no further sends are accepted.
+    pub failed: bool,
     /// Retransmissions performed (diagnostic).
     pub retransmissions: u64,
 }
@@ -52,7 +87,7 @@ pub struct ConnTx {
 /// Receiver half of a connection from one peer.
 #[derive(Debug, Default)]
 pub struct ConnRx {
-    /// Next expected sequence number.
+    /// Next expected sequence number (wraps).
     pub expected: u32,
     /// Bytes accumulated for the in-progress message.
     pub partial_bytes: u32,
@@ -85,6 +120,22 @@ pub enum RxAction {
     },
     /// Out of order (a gap exists): dropped, go-back-N will resend.
     Dropped,
+}
+
+/// Outcome of a retransmission-timer check.
+#[derive(Debug, PartialEq)]
+pub enum RetransDecision {
+    /// Nothing due (no outstanding packets, or the oldest is younger than
+    /// the current backed-off timeout).
+    Idle,
+    /// Go-back-N: resend these packets, in order.
+    Resend(Vec<StoredPacket>),
+    /// The retry budget is exhausted. The connection is now failed and its
+    /// pending traffic (`abandoned` packets, unacked plus queued) dropped.
+    Failed {
+        /// Packets abandoned when the connection died.
+        abandoned: usize,
+    },
 }
 
 /// GM state of one host.
@@ -124,10 +175,15 @@ impl Host {
 
     /// Segment a message into packets and queue them on the connection's
     /// send queue. Call [`Host::pump_window`] to release packets to the NIC
-    /// as the send window allows.
+    /// as the send window allows. Messages to a failed connection are
+    /// silently discarded — the failure was already surfaced.
     pub fn segment_message(&mut self, dst: HostId, len: u32, msg_id: u32) {
         let n = self.cfg.packets_for(len);
+        let mtu = self.cfg.mtu;
         let conn = &mut self.tx[dst.idx()];
+        if conn.failed {
+            return;
+        }
         let mut remaining = len;
         for i in 0..n {
             let payload = if n == 1 {
@@ -135,11 +191,11 @@ impl Host {
             } else if i == n - 1 {
                 remaining
             } else {
-                self.cfg.mtu
+                mtu
             };
             remaining -= payload;
             let seq = conn.next_seq;
-            conn.next_seq += 1;
+            conn.next_seq = conn.next_seq.wrapping_add(1);
             let meta = PacketMeta::data(msg_id, seq, i == n - 1);
             conn.send_queue.push_back(QueuedPacket {
                 dst,
@@ -162,6 +218,9 @@ impl Host {
         };
         let reliability = self.cfg.reliability;
         let conn = &mut self.tx[dst.idx()];
+        if conn.failed {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         while conn.unacked.len() < window {
             let Some(pkt) = conn.send_queue.pop_front() else {
@@ -169,15 +228,13 @@ impl Host {
             };
             if reliability {
                 let meta = PacketMeta::decode(pkt.tag);
-                conn.unacked.insert(
-                    meta.seq,
-                    StoredPacket {
-                        dst: pkt.dst,
-                        payload_len: pkt.payload_len,
-                        tag: pkt.tag,
-                        sent_at: now,
-                    },
-                );
+                conn.unacked.push_back(StoredPacket {
+                    dst: pkt.dst,
+                    seq: meta.seq,
+                    payload_len: pkt.payload_len,
+                    tag: pkt.tag,
+                    sent_at: now,
+                });
             }
             out.push(pkt);
         }
@@ -188,16 +245,16 @@ impl Host {
     pub fn on_data(&mut self, from: HostId, payload_len: u32, meta: PacketMeta) -> RxAction {
         debug_assert_eq!(meta.kind, Kind::Data);
         let conn = &mut self.rx[from.idx()];
-        if meta.seq < conn.expected {
+        if seq_lt(meta.seq, conn.expected) {
             conn.duplicates += 1;
             return RxAction::Duplicate {
                 ack: conn.expected.wrapping_sub(1),
             };
         }
-        if meta.seq > conn.expected {
+        if meta.seq != conn.expected {
             return RxAction::Dropped;
         }
-        conn.expected += 1;
+        conn.expected = conn.expected.wrapping_add(1);
         conn.partial_bytes += payload_len;
         let ack = meta.seq;
         if meta.last_in_msg {
@@ -214,41 +271,99 @@ impl Host {
     }
 
     /// Process a cumulative ACK from `from`: drop all covered packets.
-    pub fn on_ack(&mut self, from: HostId, acked_seq: u32) {
+    /// Returns whether the ACK made progress (freed at least one packet);
+    /// progress resets the retransmission backoff.
+    pub fn on_ack(&mut self, from: HostId, acked_seq: u32) -> bool {
         let conn = &mut self.tx[from.idx()];
-        // BTreeMap: remove all keys <= acked_seq.
-        let keep = conn.unacked.split_off(&(acked_seq + 1));
-        conn.unacked = keep;
+        let mut progressed = false;
+        while conn
+            .unacked
+            .front()
+            .is_some_and(|p| seq_leq(p.seq, acked_seq))
+        {
+            conn.unacked.pop_front();
+            progressed = true;
+        }
+        if progressed {
+            conn.backoff_exp = 0;
+        }
+        progressed
     }
 
-    /// Packets to retransmit: everything unacked whose last transmission is
-    /// older than the timeout. Updates their `sent_at`.
-    pub fn due_retransmissions(&mut self, peer: HostId, now: SimTime) -> Vec<StoredPacket> {
-        let timeout = self.cfg.retrans_timeout;
+    /// Run the retransmission timer for `peer` at `now`.
+    ///
+    /// If the oldest unacknowledged packet is older than the current
+    /// backed-off timeout, either the whole window is due for a go-back-N
+    /// resend (bumping the backoff), or — when `max_retries` consecutive
+    /// rounds have already gone unanswered — the connection is declared
+    /// failed and everything pending is abandoned.
+    pub fn check_retransmissions(&mut self, peer: HostId, now: SimTime) -> RetransDecision {
+        let cfg = self.cfg;
         let conn = &mut self.tx[peer.idx()];
+        if conn.failed {
+            return RetransDecision::Idle;
+        }
+        let timeout = effective_timeout(
+            cfg.retrans_timeout,
+            cfg.retrans_backoff_cap,
+            conn.backoff_exp,
+        );
         let oldest_due = conn
             .unacked
-            .values()
-            .next()
-            .map(|p| now.saturating_since(p.sent_at) >= timeout)
-            .unwrap_or(false);
+            .front()
+            .is_some_and(|p| now.saturating_since(p.sent_at) >= timeout);
         if !oldest_due {
-            return Vec::new();
+            return RetransDecision::Idle;
         }
+        if cfg.max_retries > 0 && conn.backoff_exp >= cfg.max_retries {
+            let abandoned = conn.unacked.len() + conn.send_queue.len();
+            conn.unacked.clear();
+            conn.send_queue.clear();
+            conn.failed = true;
+            return RetransDecision::Failed { abandoned };
+        }
+        conn.backoff_exp += 1;
         // Go-back-N: resend the whole window in order.
         conn.retransmissions += conn.unacked.len() as u64;
-        conn.unacked
-            .values_mut()
-            .map(|p| {
-                p.sent_at = now;
-                p.clone()
-            })
-            .collect()
+        RetransDecision::Resend(
+            conn.unacked
+                .iter_mut()
+                .map(|p| {
+                    p.sent_at = now;
+                    p.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// Packets to retransmit, or empty when idle or failed. Thin wrapper
+    /// over [`Host::check_retransmissions`] for callers that only care
+    /// about the resend list.
+    pub fn due_retransmissions(&mut self, peer: HostId, now: SimTime) -> Vec<StoredPacket> {
+        match self.check_retransmissions(peer, now) {
+            RetransDecision::Resend(v) => v,
+            RetransDecision::Idle | RetransDecision::Failed { .. } => Vec::new(),
+        }
+    }
+
+    /// The current (backed-off) retransmission timeout for `peer` — how far
+    /// ahead the next timer check should be scheduled.
+    pub fn retrans_delay(&self, peer: HostId) -> SimDuration {
+        effective_timeout(
+            self.cfg.retrans_timeout,
+            self.cfg.retrans_backoff_cap,
+            self.tx[peer.idx()].backoff_exp,
+        )
     }
 
     /// Whether any packet to `peer` awaits acknowledgement.
     pub fn has_unacked(&self, peer: HostId) -> bool {
         !self.tx[peer.idx()].unacked.is_empty()
+    }
+
+    /// Whether the connection to `peer` has exhausted its retries.
+    pub fn conn_failed(&self, peer: HostId) -> bool {
+        self.tx[peer.idx()].failed
     }
 }
 
@@ -260,16 +375,33 @@ mod tests {
     use itb_topo::UpDown;
 
     fn mk_host(id: u16) -> Host {
+        mk_host_cfg(id, GmConfig::default())
+    }
+
+    fn mk_host_cfg(id: u16, cfg: GmConfig) -> Host {
         let topo = chain(2, 1);
         let ud = UpDown::compute_default(&topo);
         let routes = Arc::new(RouteTable::compute(&topo, &ud, RoutingPolicy::UpDown).unwrap());
-        Host::new(HostId(id), GmConfig::default(), routes, 2)
+        Host::new(HostId(id), cfg, routes, 2)
     }
 
     /// Segment and immediately pump everything the window allows.
     fn seg_pump(h: &mut Host, dst: HostId, len: u32, msg: u32) -> Vec<QueuedPacket> {
         h.segment_message(dst, len, msg);
         h.pump_window(dst, SimTime::ZERO)
+    }
+
+    #[test]
+    fn serial_comparisons_wrap() {
+        assert!(seq_lt(0, 1));
+        assert!(!seq_lt(1, 0));
+        assert!(!seq_lt(5, 5));
+        assert!(seq_leq(5, 5));
+        // Across the wrap: MAX precedes 0 precedes 1.
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX, 1));
+        assert!(!seq_lt(0, u32::MAX));
+        assert!(seq_leq(u32::MAX, 3));
     }
 
     #[test]
@@ -390,10 +522,56 @@ mod tests {
         let mut h = mk_host(0);
         seg_pump(&mut h, HostId(1), 4096 * 3, 1); // seqs 0,1,2
         assert_eq!(h.tx[1].unacked.len(), 3);
-        h.on_ack(HostId(1), 1);
+        assert!(h.on_ack(HostId(1), 1));
         assert_eq!(h.tx[1].unacked.len(), 1);
-        h.on_ack(HostId(1), 2);
+        assert!(h.on_ack(HostId(1), 2));
         assert!(!h.has_unacked(HostId(1)));
+        // Stale re-ACK makes no progress.
+        assert!(!h.on_ack(HostId(1), 2));
+    }
+
+    #[test]
+    fn ack_at_u32_max_does_not_overflow() {
+        let mut h = mk_host(0);
+        // Start the connection just below the wrap point.
+        h.tx[1].next_seq = u32::MAX - 1;
+        h.segment_message(HostId(1), 4096 * 4, 1); // seqs MAX-1, MAX, 0, 1
+        h.pump_window(HostId(1), SimTime::ZERO);
+        assert_eq!(h.tx[1].unacked.len(), 4);
+        // Cumulative ACK of u32::MAX must clear exactly the first two
+        // packets (the old `split_off(&(acked + 1))` overflowed here).
+        assert!(h.on_ack(HostId(1), u32::MAX));
+        assert_eq!(h.tx[1].unacked.len(), 2);
+        assert_eq!(h.tx[1].unacked.front().unwrap().seq, 0);
+        assert!(h.on_ack(HostId(1), 1));
+        assert!(!h.has_unacked(HostId(1)));
+    }
+
+    #[test]
+    fn receiver_sequence_wraparound() {
+        let mut receiver = mk_host(1);
+        receiver.rx[0].expected = u32::MAX;
+        assert!(matches!(
+            receiver.on_data(HostId(0), 10, PacketMeta::data(1, u32::MAX, true)),
+            RxAction::Delivered { ack: u32::MAX, .. }
+        ));
+        // The next in-order sequence is 0, not u32::MAX + 1.
+        assert!(matches!(
+            receiver.on_data(HostId(0), 10, PacketMeta::data(2, 0, true)),
+            RxAction::Delivered { ack: 0, .. }
+        ));
+        // A late duplicate from before the wrap is still a duplicate, not a
+        // "future" packet.
+        assert_eq!(
+            receiver.on_data(HostId(0), 10, PacketMeta::data(1, u32::MAX, true)),
+            RxAction::Duplicate { ack: 0 }
+        );
+        assert_eq!(receiver.rx[0].duplicates, 1);
+        // And genuinely future sequences are still dropped.
+        assert_eq!(
+            receiver.on_data(HostId(0), 10, PacketMeta::data(3, 5, true)),
+            RxAction::Dropped
+        );
     }
 
     #[test]
@@ -410,6 +588,67 @@ mod tests {
         assert!(h
             .due_retransmissions(HostId(1), SimTime::from_ms(2))
             .is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut h = mk_host(0);
+        let base = h.cfg.retrans_timeout;
+        let cap = h.cfg.retrans_backoff_cap;
+        seg_pump(&mut h, HostId(1), 100, 1);
+        assert_eq!(h.retrans_delay(HostId(1)), base);
+        let mut now = SimTime::ZERO;
+        let mut prev = SimDuration::ZERO;
+        for _ in 0..12 {
+            let delay = h.retrans_delay(HostId(1));
+            assert!(delay >= prev, "backoff never shrinks without progress");
+            assert!(delay <= cap, "backoff never exceeds the cap");
+            now += delay;
+            match h.check_retransmissions(HostId(1), now) {
+                RetransDecision::Resend(v) => assert_eq!(v.len(), 1),
+                other => panic!("expected resend, got {other:?}"),
+            }
+            prev = delay;
+        }
+        assert_eq!(h.retrans_delay(HostId(1)), cap);
+        // ACK progress resets the backoff to the base timeout.
+        assert!(h.on_ack(HostId(1), 0));
+        assert_eq!(h.retrans_delay(HostId(1)), base);
+    }
+
+    #[test]
+    fn retry_cap_fails_connection_and_abandons_traffic() {
+        let cfg = GmConfig {
+            max_retries: 3,
+            ..GmConfig::default()
+        };
+        let mut h = mk_host_cfg(0, cfg);
+        // 12 packets: 8 in flight, 4 queued behind the window.
+        h.segment_message(HostId(1), 4096 * 12, 1);
+        h.pump_window(HostId(1), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut failed = None;
+        for _ in 0..10 {
+            now += h.retrans_delay(HostId(1));
+            match h.check_retransmissions(HostId(1), now) {
+                RetransDecision::Resend(_) => {}
+                RetransDecision::Failed { abandoned } => {
+                    failed = Some(abandoned);
+                    break;
+                }
+                RetransDecision::Idle => panic!("timer fired with nothing due"),
+            }
+        }
+        assert_eq!(failed, Some(12), "unacked window plus queued backlog");
+        assert!(h.conn_failed(HostId(1)));
+        assert!(!h.has_unacked(HostId(1)));
+        // A dead connection accepts no further traffic and never resends.
+        h.segment_message(HostId(1), 100, 2);
+        assert!(h.pump_window(HostId(1), now).is_empty());
+        assert_eq!(
+            h.check_retransmissions(HostId(1), now + SimDuration::from_ms(100)),
+            RetransDecision::Idle
+        );
     }
 
     #[test]

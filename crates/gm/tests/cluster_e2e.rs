@@ -2,7 +2,7 @@
 
 use itb_gm::cluster::ClusterParams;
 use itb_gm::{AppBehavior, Cluster, GmConfig};
-use itb_net::NetConfig;
+use itb_net::{FaultPlan, NetConfig};
 use itb_nic::{McpFlavor, McpTiming};
 use itb_routing::{figures, RoutingPolicy};
 use itb_sim::{run_until, run_while, EventQueue, SimDuration, SimTime};
@@ -20,6 +20,7 @@ fn fig6_params(flavor: McpFlavor, behaviors: Vec<AppBehavior>) -> ClusterParams 
         gm: GmConfig::default(),
         behaviors,
         route_overrides: vec![],
+        faults: FaultPlan::default(),
         seed: 1,
     }
 }
@@ -219,6 +220,7 @@ fn poisson_traffic_on_irregular_network_delivers_exactly_once() {
         gm: GmConfig::default(),
         behaviors,
         route_overrides: vec![],
+        faults: FaultPlan::default(),
         seed: 7,
     };
     let mut c = Cluster::new(params);
@@ -258,6 +260,7 @@ fn updown_and_itb_routing_both_work_loaded() {
             gm: GmConfig::default(),
             behaviors,
             route_overrides: vec![],
+            faults: FaultPlan::default(),
             seed: 9,
         };
         let mut c = Cluster::new(params);
@@ -291,6 +294,7 @@ fn determinism_same_seed_same_results() {
             gm: GmConfig::default(),
             behaviors,
             route_overrides: vec![],
+            faults: FaultPlan::default(),
             seed: 11,
         };
         let mut c = Cluster::new(params);
@@ -322,6 +326,7 @@ fn itb_routing_on_original_mcp_is_rejected() {
         gm: GmConfig::default(),
         behaviors: vec![AppBehavior::Sink; 3],
         route_overrides: vec![],
+        faults: FaultPlan::default(),
         seed: 0,
     };
     let _ = Cluster::new(params);
@@ -370,6 +375,7 @@ fn all_to_all_exchange_completes_exactly() {
         },
         behaviors,
         route_overrides: vec![],
+        faults: FaultPlan::default(),
         seed: 3,
     };
     let mut c = Cluster::new(params);

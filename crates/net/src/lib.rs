@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod network;
 pub mod packet;
 pub mod stats;
 
 pub use config::{FallThrough, NetConfig};
+pub use fault::{FaultPlan, HostCrash, LinkDownWindow, LinkFault};
 pub use network::{HostIndication, NetEvent, NetSched, Network};
 pub use packet::{PacketDesc, PacketId};

@@ -5,11 +5,12 @@
 //! for the modelling rules.
 
 use crate::config::{Arbitration, NetConfig};
+use crate::fault::FaultPlan;
 use crate::packet::{PacketDesc, PacketId, PacketState, TimelineEntry};
 use crate::stats::NetStats;
 use itb_obs::{LinkLoad, PacketTracer, Stage};
 use itb_sim::stats::Accum;
-use itb_sim::{SimDuration, SimTime};
+use itb_sim::{SimDuration, SimRng, SimTime};
 use itb_topo::{HostId, Node, PortIx, SwitchId, Topology};
 use std::collections::{HashMap, VecDeque};
 
@@ -186,6 +187,15 @@ struct InputPort {
     queue: VecDeque<InPkt>,
 }
 
+/// Compiled link-fault state (built from a [`FaultPlan`]).
+struct FaultState {
+    rng: SimRng,
+    /// `(drop, corrupt)` probabilities, indexed by link.
+    probs: Vec<(f64, f64)>,
+    /// Outage windows `(from, until)`, indexed by link.
+    down: Vec<Vec<(SimTime, SimTime)>>,
+}
+
 /// The complete network model. See crate docs.
 pub struct Network {
     topo: Topology,
@@ -208,6 +218,8 @@ pub struct Network {
     tracer: PacketTracer,
     /// Durations of individual STOP-pause intervals, any channel (ns).
     blocking: Accum,
+    /// Link-fault injection state (None = clean fabric).
+    faults: Option<FaultState>,
 }
 
 impl Network {
@@ -301,6 +313,89 @@ impl Network {
             stats: NetStats::default(),
             tracer: PacketTracer::default(),
             blocking: Accum::new(),
+            faults: None,
+        }
+    }
+
+    /// Install the link-level faults of `plan` (seeded probabilistic
+    /// drop/corruption per link, scheduled outage windows). Host crashes in
+    /// the plan are ignored here — the cluster layer executes them against
+    /// the NICs it owns. A no-op plan clears any previous fault state.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_noop() {
+            self.faults = None;
+            return;
+        }
+        let nl = self.topo.num_links();
+        let probs = self
+            .topo
+            .link_ids()
+            .map(|lid| plan.probs_for(lid))
+            .collect();
+        let mut down = vec![Vec::new(); nl];
+        for w in &plan.down_windows {
+            assert!(
+                w.link.idx() < nl,
+                "down window names unknown link {:?}",
+                w.link
+            );
+            down[w.link.idx()].push((w.from, w.until));
+        }
+        self.faults = Some(FaultState {
+            rng: SimRng::new(plan.seed),
+            probs,
+            down,
+        });
+    }
+
+    /// Roll the probabilistic link faults for a packet whose head is being
+    /// put onto channel `ch` (the sender-side garbling point). A hit marks
+    /// the packet corrupted: it still occupies the wire to its destination,
+    /// where the CRC tail check discards it.
+    fn roll_link_faults(&mut self, ch: u32, id: PacketId, now: SimTime) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        // Channels are laid out pairwise per link: lid*2 fwd, lid*2+1 rev.
+        let lid = (ch / 2) as usize;
+        let (drop_p, corrupt_p) = f.probs[lid];
+        if drop_p <= 0.0 && corrupt_p <= 0.0 {
+            return;
+        }
+        let roll = f.rng.f64();
+        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        if roll < drop_p {
+            if !pkt.corrupted {
+                pkt.corrupted = true;
+                self.stats.fault_drops += 1;
+                self.note(id, "fault.drop", ch, now);
+            }
+        } else if roll < drop_p + corrupt_p && !pkt.corrupted {
+            pkt.corrupted = true;
+            self.stats.fault_corrupts += 1;
+            self.note(id, "fault.corrupt", ch, now);
+        }
+    }
+
+    /// Check the scheduled outage windows for a head flit arriving over
+    /// channel `ch` at `now`; inside a window the packet is lost (marked
+    /// corrupted, counted separately).
+    fn check_link_down(&mut self, ch: u32, id: PacketId, now: SimTime) {
+        let Some(f) = self.faults.as_ref() else {
+            return;
+        };
+        let lid = (ch / 2) as usize;
+        let hit = f.down[lid]
+            .iter()
+            .any(|&(from, until)| from <= now && now < until);
+        if !hit {
+            return;
+        }
+        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        if !pkt.corrupted {
+            pkt.corrupted = true;
+            self.stats.link_down_drops += 1;
+            self.note(id, "fault.link_down", ch, now);
         }
     }
 
@@ -622,6 +717,9 @@ impl Network {
         let Some((id, bytes, head, tail)) = pulled else {
             return;
         };
+        if head {
+            self.roll_link_faults(ch, id, now);
+        }
         let c = &mut self.chans[ch as usize];
         c.tx_busy = true;
         c.finishing = tail;
@@ -716,6 +814,9 @@ impl Network {
         now: SimTime,
         sched: &mut impl NetSched,
     ) {
+        if head {
+            self.check_link_down(ch, packet, now);
+        }
         match self.chans[ch as usize].sink {
             ChanSink::SwitchIn { sw, port } => {
                 let cfg_stop = self.cfg.stop_threshold;

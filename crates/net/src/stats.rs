@@ -13,6 +13,13 @@ pub struct NetStats {
     pub delivered: u64,
     /// Wire bytes delivered into hosts.
     pub bytes_delivered: u64,
+    /// Packets garbled by a probabilistic drop fault (the packet completes
+    /// its traversal but the destination's CRC check discards it).
+    pub fault_drops: u64,
+    /// Packets CRC-corrupted by a probabilistic corruption fault.
+    pub fault_corrupts: u64,
+    /// Packets lost to a scheduled link-down window.
+    pub link_down_drops: u64,
 }
 
 #[cfg(test)]
@@ -26,5 +33,8 @@ mod tests {
         assert_eq!(s.reinjected, 0);
         assert_eq!(s.delivered, 0);
         assert_eq!(s.bytes_delivered, 0);
+        assert_eq!(s.fault_drops, 0);
+        assert_eq!(s.fault_corrupts, 0);
+        assert_eq!(s.link_down_drops, 0);
     }
 }

@@ -58,6 +58,10 @@ struct RecvState {
     received: u32,
     complete: bool,
     kind: RecvKind,
+    /// Whether this reception holds one of the SRAM receive buffers (false
+    /// for flushed/deferred packets, whose bytes go on the floor / wait on
+    /// the wire). Keeps buffer accounting exact across crash flushes.
+    owns_buffer: bool,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -93,6 +97,9 @@ pub struct Nic {
     /// Packets whose head arrived while no buffer was free (backpressure
     /// mode); admitted in arrival order as buffers free up.
     deferred_heads: VecDeque<PacketId>,
+    /// Crashed (fault injection): the firmware is dead; every arriving
+    /// packet is discarded until [`Nic::recover`].
+    crashed: bool,
     outputs: Vec<NicOutput>,
     stats: NicStats,
 }
@@ -111,6 +118,7 @@ impl Nic {
             recv: HashMap::new(),
             itb_pending: VecDeque::new(),
             deferred_heads: VecDeque::new(),
+            crashed: false,
             outputs: Vec::new(),
             timing,
             stats: NicStats::default(),
@@ -130,6 +138,11 @@ impl Nic {
     /// Counters.
     pub fn stats(&self) -> &NicStats {
         &self.stats
+    }
+
+    /// Whether this NIC is currently crashed (fault injection).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Debug: in-transit packets awaiting the send DMA.
@@ -249,6 +262,88 @@ impl Nic {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection: NIC crash
+    // ------------------------------------------------------------------
+
+    /// Crash this NIC: the firmware dies on the spot. Every reception it
+    /// holds that is not already committed downstream is flushed — pending
+    /// in-transit forwards, unclassified heads and deferred packets — and
+    /// until [`Nic::recover`] every arriving packet is discarded. This is
+    /// the paper's in-transit host failure scenario: packets parked in the
+    /// ITB host's buffers are simply lost and GM retransmission recovers
+    /// them. Packets already re-injecting (bytes on the wire, cut-through)
+    /// and packets already in the host RDMA path run to completion; a
+    /// wormhole cannot be un-sent.
+    pub fn crash<S>(&mut self, now: SimTime, net: &mut Network, sched: &mut S)
+    where
+        S: NicSched + NetSched,
+    {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        // Pending forwards never happen; their receptions flush below.
+        self.itb_pending.clear();
+        self.deferred_heads.clear();
+        let victims: Vec<u64> = self
+            .recv
+            .iter()
+            .filter(|(_, st)| {
+                matches!(
+                    st.kind,
+                    RecvKind::Unknown
+                        | RecvKind::Deferred
+                        | RecvKind::InTransit { injecting: false }
+                )
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for k in victims {
+            self.flush_for_crash(PacketId(k), now, net, sched);
+        }
+        // A dead NIC exerts no backpressure: bytes stream in and burn.
+        net.set_host_rx_paused(self.host, false, now, sched);
+    }
+
+    /// Bring a crashed NIC back with empty queues and a full buffer pool
+    /// view (the state it crashed with was flushed at crash time).
+    pub fn recover(&mut self) {
+        self.crashed = false;
+    }
+
+    /// Flush one held reception at crash time, recycling its buffer if it
+    /// owned one.
+    fn flush_for_crash<S>(
+        &mut self,
+        packet: PacketId,
+        now: SimTime,
+        net: &mut Network,
+        sched: &mut S,
+    ) where
+        S: NicSched + NetSched,
+    {
+        let Some(st) = self.recv.get_mut(&packet.0) else {
+            return;
+        };
+        let owned = st.owns_buffer;
+        let complete = st.complete;
+        st.kind = RecvKind::Flushed;
+        st.owns_buffer = false;
+        self.stats.crash_flushes += 1;
+        self.outputs.push(NicOutput::Flushed {
+            host: self.host,
+            packet,
+        });
+        if complete {
+            self.recv.remove(&packet.0);
+            net.retire(packet);
+        }
+        if owned {
+            self.on_buffer_freed(now, net, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Network indications
     // ------------------------------------------------------------------
 
@@ -280,6 +375,24 @@ impl Nic {
     where
         S: NicSched + NetSched,
     {
+        // A crashed NIC discards everything that reaches it.
+        if self.crashed {
+            self.recv.insert(
+                packet.0,
+                RecvState {
+                    received: 0,
+                    complete: false,
+                    kind: RecvKind::Flushed,
+                    owns_buffer: false,
+                },
+            );
+            self.stats.crash_flushes += 1;
+            self.outputs.push(NicOutput::Flushed {
+                host: self.host,
+                packet,
+            });
+            return;
+        }
         // Buffer admission happens at the head.
         if self.recv_buffers_free == 0 {
             if self.timing.flush_on_overflow {
@@ -290,6 +403,7 @@ impl Nic {
                         received: 0,
                         complete: false,
                         kind: RecvKind::Flushed,
+                        owns_buffer: false,
                     },
                 );
                 self.stats.flushed += 1;
@@ -306,6 +420,7 @@ impl Nic {
                         received: 0,
                         complete: false,
                         kind: RecvKind::Deferred,
+                        owns_buffer: false,
                     },
                 );
                 self.deferred_heads.push_back(packet);
@@ -321,6 +436,7 @@ impl Nic {
                 received: 0,
                 complete: false,
                 kind: RecvKind::Unknown,
+                owns_buffer: true,
             },
         );
         self.classify(packet, now, net, sched);
@@ -384,6 +500,7 @@ impl Nic {
         if let Some(st) = self.recv.get_mut(&packet.0) {
             debug_assert_eq!(st.kind, RecvKind::Deferred);
             st.kind = RecvKind::Unknown;
+            st.owns_buffer = true;
         }
         if self.deferred_heads.is_empty() {
             net.set_host_rx_paused(self.host, false, now, sched);
@@ -578,6 +695,11 @@ impl Nic {
                 let Some(st) = self.recv.get_mut(&packet.0) else {
                     return;
                 };
+                if st.kind != RecvKind::Unknown {
+                    // The packet was flushed (e.g. by a crash) between the
+                    // head event and this handler firing.
+                    return;
+                }
                 let ty = net.packet_type(packet);
                 if ty == Some(TYPE_ITB) {
                     self.stats.itb_detects += 1;
@@ -619,7 +741,11 @@ impl Nic {
                 let Some(st) = self.recv.get_mut(&packet.0) else {
                     return;
                 };
-                debug_assert!(matches!(st.kind, RecvKind::InTransit { .. }));
+                if !matches!(st.kind, RecvKind::InTransit { .. }) {
+                    // Crash-flushed after the forward was programmed: the
+                    // send DMA never runs for a dead firmware.
+                    return;
+                }
                 st.kind = RecvKind::InTransit { injecting: true };
                 // Strip ITB|Length, then hand to the send DMA after its
                 // start latency. Bytes available so far: received − 3.

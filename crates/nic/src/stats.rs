@@ -24,6 +24,9 @@ pub struct NicStats {
     /// Times the NIC asserted receive flow control (no buffer free,
     /// backpressure mode).
     pub rx_stalls: u64,
+    /// Packets lost to an injected NIC crash: in-transit packets flushed at
+    /// the crash instant plus arrivals discarded while down.
+    pub crash_flushes: u64,
 }
 
 #[cfg(test)]
@@ -40,5 +43,6 @@ mod tests {
         assert_eq!(s.flushed, 0);
         assert_eq!(s.crc_drops, 0);
         assert_eq!(s.rx_stalls, 0);
+        assert_eq!(s.crash_flushes, 0);
     }
 }

@@ -20,4 +20,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== chaos smoke (seeded faults, exactly-once) =="
+chaos_a=$(mktemp -d)
+chaos_b=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b"' EXIT
+ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
+echo "== chaos determinism (same seed twice, byte-identical artifact) =="
+ITB_RESULTS_DIR="$chaos_b" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
+cmp "$chaos_a/chaos_soak.json" "$chaos_b/chaos_soak.json"
+
 echo "CI OK"

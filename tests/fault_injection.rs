@@ -1,8 +1,10 @@
 //! Failure injection across the stack: receive-pool exhaustion (flushes),
-//! ITB-host starvation, and recovery through the GM reliability layer.
+//! ITB-host starvation, seeded fault plans (probabilistic drops, link-down
+//! windows, NIC crashes), and recovery through the GM reliability layer.
 
 use itb_myrinet::core::{ClusterSpec, McpFlavor};
 use itb_myrinet::gm::AppBehavior;
+use itb_myrinet::net::FaultPlan;
 use itb_myrinet::routing::figures;
 use itb_myrinet::sim::{run_until, EventQueue, SimTime};
 use itb_myrinet::topo::builders::fig6_testbed;
@@ -208,4 +210,193 @@ fn retransmission_preserves_payload_sizes() {
         assert_eq!(rec.len, 9000);
         assert!(rec.delivered_at.is_some());
     }
+}
+
+#[test]
+fn probabilistic_drops_recover_exactly_once() {
+    // Seeded per-link drop/corrupt noise on every link: the reliability
+    // layer must still deliver every message exactly once.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_faults(
+            FaultPlan::seeded(11)
+                .with_drop_prob(0.03)
+                .with_corrupt_prob(0.01),
+        );
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 2048,
+            count: 25,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 25);
+    let stats = c.net.stats();
+    assert!(
+        stats.fault_drops + stats.fault_corrupts > 0,
+        "the plan must actually inject faults"
+    );
+    assert!(
+        c.host(tb.host1).tx[tb.host2.idx()].retransmissions > 0,
+        "losses recover via retransmission"
+    );
+}
+
+#[test]
+fn link_down_window_recovers() {
+    // The first inter-switch cable goes dark for 200 us while a stream is
+    // crossing it; every head that arrives during the outage is lost and
+    // must be retransmitted after it ends.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_faults(FaultPlan::seeded(3).with_down_window(
+            tb.cable_a,
+            SimTime::from_us(20),
+            SimTime::from_us(220),
+        ));
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 4096,
+            count: 20,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 20, "traffic resumes after the outage");
+    assert!(
+        c.net.stats().link_down_drops > 0,
+        "the outage must have eaten packets"
+    );
+    assert!(c.host(tb.host1).tx[tb.host2.idx()].retransmissions > 0);
+}
+
+#[test]
+fn itb_host_crash_flushes_in_transit_packets_and_recovers() {
+    // The in-transit host's NIC crashes while ITB traffic flows through
+    // it: buffered in-transit packets are flushed, arrivals during the
+    // outage are discarded, and go-back-N still delivers everything.
+    let tb = fig6_testbed();
+    let spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Itb)
+        .with_route_override(figures::fig8_itb_route(&tb))
+        .with_route_override(figures::fig8_return_route(&tb))
+        .with_faults(FaultPlan::seeded(5).with_crash(
+            tb.itb_host,
+            SimTime::from_us(30),
+            SimTime::from_us(400),
+        ));
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 2048,
+            count: 20,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 20, "all messages despite the crash");
+    let itb_stats = c.nic(tb.itb_host).stats();
+    assert!(
+        itb_stats.crash_flushes > 0,
+        "the crash must have flushed or discarded packets"
+    );
+    assert!(
+        itb_stats.itb_forwards > 0,
+        "forwarding resumed after recovery"
+    );
+    assert!(!c.nic(tb.itb_host).is_crashed(), "NIC recovered");
+    let snap = c.metrics_snapshot(SimTime::from_ms(400));
+    assert_eq!(snap.counters["gm.crashes_injected"], 1);
+    assert!(snap.counters["gm.drops_observed"] > 0);
+}
+
+#[test]
+fn retry_cap_surfaces_connection_failure() {
+    // A black-hole link (100% drop) with a small retry budget: instead of
+    // resending forever, the sender must declare the connection failed and
+    // surface it.
+    let tb = fig6_testbed();
+    let mut spec = ClusterSpec::fig6_testbed()
+        .with_mcp(McpFlavor::Original)
+        .with_faults(FaultPlan::seeded(1).with_drop_prob(1.0));
+    spec.calib.gm.max_retries = 2;
+    let behaviors = vec![
+        AppBehavior::Stream {
+            dst: tb.host2,
+            size: 1024,
+            count: 3,
+        },
+        AppBehavior::Sink,
+        AppBehavior::Sink,
+    ];
+    let mut c = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    c.start(&mut q);
+    run_until(&mut c, &mut q, SimTime::from_ms(400));
+    assert_eq!(c.delivered_count(), 0, "nothing can get through");
+    assert_eq!(
+        c.connection_failures(),
+        &[(tb.host1, tb.host2)],
+        "the failure must be surfaced, once"
+    );
+    assert!(c.host(tb.host1).conn_failed(tb.host2));
+    let snap = c.metrics_snapshot(SimTime::from_ms(400));
+    assert_eq!(snap.counters["gm.connections_failed"], 1);
+    assert!(snap.counters["gm.packets_abandoned"] > 0);
+    // Sends after the failure are refused quietly, not queued forever.
+    assert!(!c.host(tb.host1).has_unacked(tb.host2));
+}
+
+#[test]
+fn same_seed_same_fault_schedule() {
+    // Two runs of the identical spec must produce byte-identical metrics:
+    // fault injection shares the simulator's determinism guarantees.
+    let run = || {
+        let tb = fig6_testbed();
+        let spec = ClusterSpec::fig6_testbed()
+            .with_mcp(McpFlavor::Original)
+            .with_faults(
+                FaultPlan::seeded(42)
+                    .with_drop_prob(0.02)
+                    .with_corrupt_prob(0.01)
+                    .with_down_window(tb.cable_a, SimTime::from_us(50), SimTime::from_us(150)),
+            );
+        let behaviors = vec![
+            AppBehavior::Stream {
+                dst: tb.host2,
+                size: 3000,
+                count: 15,
+            },
+            AppBehavior::Sink,
+            AppBehavior::Sink,
+        ];
+        let mut c = spec.build(behaviors);
+        let mut q = EventQueue::new();
+        c.start(&mut q);
+        run_until(&mut c, &mut q, SimTime::from_ms(400));
+        c.metrics_snapshot(SimTime::from_ms(400))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.counters, b.counters,
+        "fault schedule must be deterministic"
+    );
 }

@@ -13,9 +13,10 @@ use std::ops::{Range, RangeInclusive};
 
 /// Common imports, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        OneOf, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 
@@ -167,6 +168,85 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its value (`Just(x)`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One boxed alternative of a [`OneOf`] strategy.
+pub type OneOfAlt<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    alts: Vec<OneOfAlt<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A strategy drawing uniformly from `alts` (must be non-empty).
+    pub fn new(alts: Vec<OneOfAlt<T>>) -> Self {
+        assert!(
+            !alts.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        OneOf { alts }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.alts.len() as u64) as usize;
+        (self.alts[ix])(rng)
+    }
+}
+
+/// Choose uniformly among alternative strategies of a common value type
+/// (the unweighted subset of proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        $crate::OneOf::new(vec![$({
+            let s = $s;
+            ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                $crate::Strategy::generate(&s, rng)
+            }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+        }),+])
+    }};
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy generating a `Vec` with length drawn from a range (built by
+    /// [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy: length uniform in `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
     }
 }
 
