@@ -1,0 +1,323 @@
+//! Perf gauntlet: the simulator's own wall-clock benchmark.
+//!
+//! The paper counts firmware nanoseconds; this harness counts *our*
+//! nanoseconds — how many simulation events per second the engine
+//! dispatches, and how many heap allocations each simulated packet costs.
+//! It runs the Figure-6 testbed workloads plus a larger synthetic
+//! multi-switch fabric under load, prints a table, and writes:
+//!
+//! * `results/perf_gauntlet.json` — the full report (wall-clock included),
+//! * `results/perf_gauntlet_digest.json` — only the deterministic sim-side
+//!   numbers (events, sim time, deliveries), byte-identical across same-seed
+//!   runs; CI compares two smoke runs of this file,
+//! * `BENCH_perf.json` at the workspace root (full mode only) — the
+//!   events/sec trajectory every future PR must not regress.
+//!
+//! `cargo run --release -p itb-bench --bin perf_gauntlet [--smoke] [--label NAME]`
+
+use itb_core::ClusterSpec;
+use itb_gm::{AppBehavior, Cluster, ClusterEvent};
+use itb_nic::McpFlavor;
+use itb_routing::{figures, RoutingPolicy};
+use itb_sim::{run_until, run_while, EventQueue, SimDuration, SimTime};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting wrapper around the system allocator: every `alloc`/`realloc`
+/// bumps a global counter, so scenarios can report allocations per packet.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Full per-scenario report (wall-clock and allocation numbers vary run to
+/// run; the digest subset below does not).
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioReport {
+    name: String,
+    events: u64,
+    sim_us: f64,
+    delivered: u64,
+    injected: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    allocs_per_packet: f64,
+}
+
+/// The deterministic subset: a pure function of the scenario seed, so two
+/// same-mode runs must serialize byte-identically (the CI perf smoke).
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioDigest {
+    name: String,
+    events: u64,
+    sim_us: f64,
+    delivered: u64,
+    injected: u64,
+}
+
+impl ScenarioReport {
+    fn digest(&self) -> ScenarioDigest {
+        ScenarioDigest {
+            name: self.name.clone(),
+            events: self.events,
+            sim_us: self.sim_us,
+            delivered: self.delivered,
+            injected: self.injected,
+        }
+    }
+}
+
+/// Run one prepared cluster to its stop condition, measuring wall time,
+/// dispatched events and allocation cost.
+fn measure(
+    name: &str,
+    mut cluster: Cluster,
+    mut q: EventQueue<ClusterEvent>,
+    run: impl FnOnce(&mut Cluster, &mut EventQueue<ClusterEvent>),
+) -> ScenarioReport {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    run(&mut cluster, &mut q);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+    let events = q.events_dispatched();
+    let injected = cluster.net.stats().injected;
+    ScenarioReport {
+        name: name.to_string(),
+        events,
+        sim_us: q.now().as_us_f64(),
+        delivered: cluster.delivered_count() as u64,
+        injected,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        allocs,
+        alloc_bytes,
+        allocs_per_packet: allocs as f64 / injected.max(1) as f64,
+    }
+}
+
+/// Figure-6 testbed, ITB route, ping-pong over the size ladder — the
+/// paper's own workload, exercising the ITB firmware path.
+fn fig6_pingpong(iters: u32) -> ScenarioReport {
+    let base = ClusterSpec::fig6_testbed().with_mcp(McpFlavor::Itb);
+    let tb = base.testbed.clone().expect("testbed spec");
+    let spec = base
+        .with_route_override(figures::fig8_itb_route(&tb))
+        .with_route_override(figures::fig8_return_route(&tb));
+    let sizes = itb_core::experiments::allsize_ladder();
+    let n = spec.num_hosts();
+    let mut behaviors = vec![AppBehavior::Sink; n];
+    behaviors[tb.host1.idx()] = AppBehavior::PingPong {
+        peer: tb.host2,
+        sizes,
+        iters,
+        warmup: 2,
+    };
+    behaviors[tb.host2.idx()] = AppBehavior::Echo;
+    let mut cluster = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    measure("fig6_pingpong_itb", cluster, q, |c, q| {
+        run_while(c, q, |c| !c.all_pingpongs_done());
+    })
+}
+
+/// A 16-switch irregular fabric streaming a permutation pattern — sustained
+/// wormhole traffic across the core, no randomness in arrivals.
+fn perm_stream_16sw(count: u32) -> ScenarioReport {
+    let spec = ClusterSpec::irregular(16, 1).with_routing(RoutingPolicy::Itb);
+    let n = spec.num_hosts();
+    let behaviors: Vec<AppBehavior> = (0..n)
+        .map(|i| AppBehavior::Stream {
+            dst: itb_topo::HostId(((i + n / 2) % n) as u16),
+            size: 512,
+            count,
+        })
+        .collect();
+    let mut cluster = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    let expected = n * count as usize;
+    measure("perm_stream_16sw", cluster, q, move |c, q| {
+        run_while(c, q, |c| c.delivered_count() < expected);
+    })
+}
+
+/// The large-topology scenario the BENCH_perf trajectory gates on: a
+/// 32-switch irregular fabric (128 hosts) under Poisson load for a fixed
+/// simulated window. This is the workload class the ROADMAP's bigger
+/// multistage studies need to be cheap.
+fn large_load_32sw(window_us: u64) -> ScenarioReport {
+    let spec = ClusterSpec::irregular(32, 1).with_routing(RoutingPolicy::Itb);
+    let n = spec.num_hosts();
+    let behaviors = vec![
+        AppBehavior::Poisson {
+            size: 512,
+            mean_gap: SimDuration::from_us(40),
+            limit: 0,
+        };
+        n
+    ];
+    let mut cluster = spec.build(behaviors);
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
+    measure("large_load_32sw", cluster, q, move |c, q| {
+        run_until(c, q, horizon);
+    })
+}
+
+#[derive(Debug, Serialize)]
+struct GauntletReport {
+    mode: &'static str,
+    scenarios: Vec<ScenarioReport>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string());
+
+    // Smoke mode: tiny deterministic runs for the CI byte-compare. Full
+    // mode: long enough that events/sec is a stable engine metric.
+    let (pp_iters, stream_count, window_us) = if smoke { (2, 4, 300) } else { (40, 60, 4000) };
+
+    eprintln!(
+        "running perf gauntlet ({})...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let scenarios = vec![
+        fig6_pingpong(pp_iters),
+        perm_stream_16sw(stream_count),
+        large_load_32sw(window_us),
+    ];
+
+    println!("# Perf gauntlet — simulator wall-clock throughput");
+    println!(
+        "{:<22} {:>12} {:>10} {:>9} {:>8} {:>14} {:>12}",
+        "scenario", "events", "sim(us)", "wall(s)", "Mev/s", "allocs/packet", "delivered"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<22} {:>12} {:>10.1} {:>9.3} {:>8.2} {:>14.1} {:>12}",
+            s.name,
+            s.events,
+            s.sim_us,
+            s.wall_s,
+            s.events_per_sec / 1e6,
+            s.allocs_per_packet,
+            s.delivered
+        );
+    }
+
+    let report = GauntletReport {
+        mode: if smoke { "smoke" } else { "full" },
+        scenarios: scenarios.clone(),
+    };
+    itb_bench::dump_json("perf_gauntlet", &report);
+    let digest: Vec<ScenarioDigest> = scenarios.iter().map(|s| s.digest()).collect();
+    itb_bench::dump_json("perf_gauntlet_digest", &digest);
+
+    // The committed trajectory: full runs append/update their labelled
+    // entry so each PR's speedup is measured against the recorded baseline.
+    if !smoke {
+        update_bench_perf(&label, &scenarios);
+    }
+}
+
+/// One trajectory entry of `BENCH_perf.json`, serialized on a single line
+/// so the file can be spliced without a JSON parser (the vendored
+/// serde_json stub only serializes).
+#[derive(Debug, Serialize)]
+struct TrajectoryEntry {
+    label: String,
+    events_per_sec: Vec<(String, f64)>,
+    allocs_per_packet: Vec<(String, f64)>,
+}
+
+/// Merge this run into `BENCH_perf.json` (workspace root): one entry per
+/// label, one line per entry, most recent run for a label wins. The file
+/// stays valid JSON; the line discipline is the append convention.
+fn update_bench_perf(label: &str, scenarios: &[ScenarioReport]) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json");
+    let entry = TrajectoryEntry {
+        label: label.to_string(),
+        events_per_sec: scenarios
+            .iter()
+            .map(|s| (s.name.clone(), s.events_per_sec))
+            .collect(),
+        allocs_per_packet: scenarios
+            .iter()
+            .map(|s| (s.name.clone(), s.allocs_per_packet))
+            .collect(),
+    };
+    let line = format!(
+        "    {}",
+        serde_json::to_string(&entry).expect("entry serializes")
+    );
+    let needle = format!("\"label\":\"{label}\"");
+    let mut lines: Vec<String> = match std::fs::read_to_string(&path) {
+        Ok(s) => s.lines().map(str::to_string).collect(),
+        Err(_) => vec![
+            "{".into(),
+            "  \"benchmark\": \"perf_gauntlet\",".into(),
+            "  \"unit\": \"events_per_sec (wall-clock)\",".into(),
+            "  \"trajectory\": [".into(),
+            "  ]".into(),
+            "}".into(),
+        ],
+    };
+    if let Some(slot) = lines.iter_mut().find(|l| l.contains(&needle)) {
+        let keep_comma = slot.trim_end().ends_with(',');
+        *slot = if keep_comma { format!("{line},") } else { line };
+    } else {
+        let close = lines
+            .iter()
+            .position(|l| l.trim() == "]")
+            .expect("trajectory array close");
+        if close > 0 && lines[close - 1].trim().starts_with('{') {
+            let prev = &mut lines[close - 1];
+            if !prev.trim_end().ends_with(',') {
+                prev.push(',');
+            }
+        }
+        lines.insert(close, line);
+    }
+    let mut txt = lines.join("\n");
+    txt.push('\n');
+    std::fs::write(&path, txt).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("[wrote {}]", path.display());
+}

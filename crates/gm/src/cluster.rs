@@ -4,13 +4,13 @@ use crate::apps::{AppBehavior, PingPongState};
 use crate::config::GmConfig;
 use crate::host::{Host, RetransDecision, RxAction};
 use crate::meta::{Kind, PacketMeta};
+use itb_net::HostIndication;
 use itb_net::{FaultPlan, HostCrash, NetConfig, NetEvent, NetSched, Network, PacketDesc};
 use itb_nic::{McpFlavor, McpTiming, Nic, NicEvent, NicOutput, NicSched};
 use itb_routing::planner::ItbHostSelection;
 use itb_routing::{RouteTable, RoutingPolicy, SourceRoute};
-use itb_sim::{EventQueue, SimRng, SimTime, World};
+use itb_sim::{EventQueue, FxHashMap, SimRng, SimTime, World};
 use itb_topo::{HostId, Topology, UpDown};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Wire bytes GM adds to every packet for its own protocol header.
@@ -157,10 +157,18 @@ pub struct Cluster {
     poisson_sent: Vec<u32>,
     a2a_sent: Vec<u32>,
     rngs: Vec<SimRng>,
-    messages: HashMap<u32, MsgRecord>,
+    messages: FxHashMap<u32, MsgRecord>,
+    /// O(1) mirror of "messages with `delivered_at` set" — the hot
+    /// `run_while` predicates poll [`Cluster::delivered_count`] once per
+    /// dispatched event, so it must not scan the message map.
+    delivered_messages: u64,
     next_msg_id: u32,
     next_token: u64,
-    pending_submissions: HashMap<u64, PacketDesc>,
+    pending_submissions: FxHashMap<u64, PacketDesc>,
+    /// Reused scratch for [`Cluster::pump`] (indications drained per event).
+    ind_buf: Vec<HostIndication>,
+    /// Reused scratch for [`Cluster::pump`] (NIC outputs drained per event).
+    out_buf: Vec<NicOutput>,
     gm: GmConfig,
     crashes: Vec<HostCrash>,
     connection_failures: Vec<(HostId, HostId)>,
@@ -225,10 +233,13 @@ impl Cluster {
             a2a_sent: vec![0; n],
             rngs,
             behaviors: p.behaviors,
-            messages: HashMap::new(),
+            messages: FxHashMap::default(),
+            delivered_messages: 0,
             next_msg_id: 0,
             next_token: 0,
-            pending_submissions: HashMap::new(),
+            pending_submissions: FxHashMap::default(),
+            ind_buf: Vec::new(),
+            out_buf: Vec::new(),
             gm: p.gm,
             crashes: p.faults.crashes,
             connection_failures: Vec::new(),
@@ -276,7 +287,7 @@ impl Cluster {
     }
 
     /// Per-message records, keyed by message id.
-    pub fn messages(&self) -> &HashMap<u32, MsgRecord> {
+    pub fn messages(&self) -> &FxHashMap<u32, MsgRecord> {
         &self.messages
     }
 
@@ -303,12 +314,10 @@ impl Cluster {
         &self.hosts[host.idx()]
     }
 
-    /// Messages delivered so far.
+    /// Messages delivered so far. O(1): experiment stop predicates call this
+    /// once per dispatched event.
     pub fn delivered_count(&self) -> usize {
-        self.messages
-            .values()
-            .filter(|m| m.delivered_at.is_some())
-            .count()
+        self.delivered_messages as usize
     }
 
     /// Connections that exhausted their retry budget, as `(sender, peer)`
@@ -478,32 +487,38 @@ impl Cluster {
     // Event handling
     // ------------------------------------------------------------------
 
-    /// Route indications and outputs after any net/nic activity.
+    /// Route indications and outputs after any net/nic activity. Runs once
+    /// per dispatched event, so the drain buffers are owned by the cluster
+    /// and recycled — the steady-state loop allocates nothing here.
     fn pump(&mut self, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        let mut inds = std::mem::take(&mut self.ind_buf);
         loop {
-            let inds = self.net.take_indications();
+            self.net.drain_indications_into(&mut inds);
             if inds.is_empty() {
                 break;
             }
-            for ind in inds {
+            for &ind in &inds {
                 let host = match ind {
-                    itb_net::HostIndication::HeadArrived { host, .. }
-                    | itb_net::HostIndication::BytesArrived { host, .. }
-                    | itb_net::HostIndication::PacketComplete { host, .. }
-                    | itb_net::HostIndication::InjectionComplete { host, .. } => host,
+                    HostIndication::HeadArrived { host, .. }
+                    | HostIndication::BytesArrived { host, .. }
+                    | HostIndication::PacketComplete { host, .. }
+                    | HostIndication::InjectionComplete { host, .. } => host,
                 };
                 let mut sink = Sink(q);
                 self.nics[host.idx()].on_indication(ind, now, &mut self.net, &mut sink);
             }
         }
+        self.ind_buf = inds;
         // Collect NIC outputs into the GM layer.
-        let mut outs = Vec::new();
+        let mut outs = std::mem::take(&mut self.out_buf);
+        outs.clear();
         for nic in &mut self.nics {
-            outs.extend(nic.take_outputs());
+            nic.drain_outputs_into(&mut outs);
         }
-        for out in outs {
+        for out in outs.drain(..) {
             self.on_nic_output(out, now, q);
         }
+        self.out_buf = outs;
     }
 
     fn on_nic_output(&mut self, out: NicOutput, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
@@ -626,8 +641,8 @@ impl Cluster {
                             self.pending_submissions.insert(token, desc);
                             // Stagger resends by the per-packet posting cost,
                             // exactly like fresh sends in `pump_conn`.
-                            q.schedule(
-                                now + self.gm.o_send_per_packet * (i as u64 + 1),
+                            q.schedule_after(
+                                self.gm.o_send_per_packet * (i as u64 + 1),
                                 ClusterEvent::Host(HostEvent::SubmitPacket { host, token }),
                             );
                         }
@@ -637,8 +652,8 @@ impl Cluster {
                 if self.hosts[host.idx()].has_unacked(peer) {
                     // Re-arm at the current (possibly backed-off) timeout.
                     let delay = self.hosts[host.idx()].retrans_delay(peer);
-                    q.schedule(
-                        now + delay,
+                    q.schedule_after(
+                        delay,
                         ClusterEvent::Host(HostEvent::RetransCheck { host, peer }),
                     );
                 } else {
@@ -696,8 +711,8 @@ impl Cluster {
                 }
                 self.send_message(host, HostId(dst), size, now, q);
                 let gap = self.rngs[host.idx()].exp(mean_gap.as_ns_f64());
-                q.schedule(
-                    now + itb_sim::SimDuration::from_ps((gap * 1e3) as u64),
+                q.schedule_after(
+                    itb_sim::SimDuration::from_ps((gap * 1e3) as u64),
                     ClusterEvent::Host(HostEvent::AppSend { host }),
                 );
             }
@@ -714,7 +729,7 @@ impl Cluster {
                 let dst = HostId(((u32::from(host.0) + 1 + k) % n) as u16);
                 self.send_message(host, dst, size, now, q);
                 if self.a2a_sent[host.idx()] < n - 1 {
-                    q.schedule(now + gap, ClusterEvent::Host(HostEvent::AppSend { host }));
+                    q.schedule_after(gap, ClusterEvent::Host(HostEvent::AppSend { host }));
                 }
             }
             AppBehavior::Sink | AppBehavior::Echo => {}
@@ -733,6 +748,9 @@ impl Cluster {
         if let Some(rec) = self.messages.get_mut(&msg_id) {
             debug_assert_eq!(rec.dst, host, "message delivered to its destination");
             debug_assert_eq!(rec.len, len, "reassembled length matches");
+            if rec.delivered_at.is_none() {
+                self.delivered_messages += 1;
+            }
             rec.delivered_at = Some(now);
         }
         self.app_deliveries += 1;
@@ -788,5 +806,22 @@ impl World for Cluster {
             ClusterEvent::Host(e) => self.on_host_event(e, now, q),
         }
         self.pump(now, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_event_stays_small() {
+        // The union event is copied through the calendar heap on every
+        // schedule/sift; keep it register-friendly. (NicEvent is bounded by
+        // its own test; this pins the union's padding too.)
+        assert!(
+            std::mem::size_of::<ClusterEvent>() <= 40,
+            "ClusterEvent grew to {} bytes — box the fat variant instead",
+            std::mem::size_of::<ClusterEvent>()
+        );
     }
 }

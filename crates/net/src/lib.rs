@@ -29,6 +29,7 @@ pub mod config;
 pub mod fault;
 pub mod network;
 pub mod packet;
+pub mod slab;
 pub mod stats;
 
 pub use config::{FallThrough, NetConfig};

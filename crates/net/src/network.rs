@@ -7,12 +7,13 @@
 use crate::config::{Arbitration, NetConfig};
 use crate::fault::FaultPlan;
 use crate::packet::{PacketDesc, PacketId, PacketState, TimelineEntry};
+use crate::slab::IdSlab;
 use crate::stats::NetStats;
 use itb_obs::{LinkLoad, PacketTracer, Stage};
 use itb_sim::stats::Accum;
 use itb_sim::{SimDuration, SimRng, SimTime};
 use itb_topo::{HostId, Node, PortIx, SwitchId, Topology};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Scheduling hook: the embedding world turns these into entries of its own
 /// event queue.
@@ -206,7 +207,9 @@ pub struct Network {
     /// `[switch][port]` — outgoing channel index for cabled ports.
     out_chan: Vec<Vec<Option<u32>>>,
     hosts: Vec<HostPort>,
-    packets: HashMap<u64, PacketState>,
+    /// Registry of live packets. Ids are monotonic and short-lived, so a
+    /// sliding-window slab makes every per-flit lookup an index, not a hash.
+    packets: IdSlab<PacketState>,
     next_packet: u64,
     indications: Vec<HostIndication>,
     /// Timelines of retired packets (kept only when timelines are on).
@@ -306,7 +309,7 @@ impl Network {
             inputs,
             out_chan,
             hosts,
-            packets: HashMap::new(),
+            packets: IdSlab::default(),
             next_packet: 0,
             indications: Vec::new(),
             retired_timelines: Vec::new(),
@@ -363,7 +366,7 @@ impl Network {
             return;
         }
         let roll = f.rng.f64();
-        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        let pkt = self.packets.get_mut(id.0).expect("packet exists");
         if roll < drop_p {
             if !pkt.corrupted {
                 pkt.corrupted = true;
@@ -391,7 +394,7 @@ impl Network {
         if !hit {
             return;
         }
-        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        let pkt = self.packets.get_mut(id.0).expect("packet exists");
         if !pkt.corrupted {
             pkt.corrupted = true;
             self.stats.link_down_drops += 1;
@@ -446,7 +449,7 @@ impl Network {
         if !self.cfg.record_timelines {
             return;
         }
-        if let Some(p) = self.packets.get_mut(&id.0) {
+        if let Some(p) = self.packets.get_mut(id.0) {
             p.timeline.push(TimelineEntry { tag, value, t });
         }
     }
@@ -456,6 +459,15 @@ impl Network {
         std::mem::take(&mut self.indications)
     }
 
+    /// Drain pending host indications into `buf` (cleared first), keeping
+    /// `buf`'s capacity. The steady-state event loop calls this once per
+    /// event; swapping buffers instead of allocating keeps the loop
+    /// allocation-free.
+    pub fn drain_indications_into(&mut self, buf: &mut Vec<HostIndication>) {
+        buf.clear();
+        std::mem::swap(&mut self.indications, buf);
+    }
+
     /// Number of packets still registered (in flight or awaiting retire).
     pub fn in_flight(&self) -> usize {
         self.packets.len()
@@ -463,19 +475,24 @@ impl Network {
 
     /// Inspect an in-flight packet (panics on unknown id).
     pub fn packet(&self, id: PacketId) -> &PacketState {
-        &self.packets[&id.0]
+        self.packets.get(id.0).expect("packet exists")
     }
 
     /// The two-byte packet type currently at the head of a packet's header,
     /// if the packet is positioned at a NIC.
     pub fn packet_type(&self, id: PacketId) -> Option<u16> {
-        self.packets[&id.0].desc.header.packet_type()
+        self.packets
+            .get(id.0)
+            .expect("packet exists")
+            .desc
+            .header
+            .packet_type()
     }
 
     /// Strip the `ITB | Length` group from a packet parked at an in-transit
     /// NIC (the MCP does this before reprogramming the send DMA).
     pub fn strip_itb_group(&mut self, id: PacketId) -> u8 {
-        let p = self.packets.get_mut(&id.0).expect("packet exists");
+        let p = self.packets.get_mut(id.0).expect("packet exists");
         p.itb_hops += 1;
         p.desc.header.strip_itb_group()
     }
@@ -483,7 +500,7 @@ impl Network {
     /// Remove a fully delivered packet from the registry, returning its
     /// final state (header should start with the GM type).
     pub fn retire(&mut self, id: PacketId) -> PacketState {
-        let st = self.packets.remove(&id.0).expect("packet exists");
+        let st = self.packets.remove(id.0).expect("packet exists");
         if self.cfg.record_timelines {
             self.retired_timelines.push((id, st.timeline.clone()));
         }
@@ -523,6 +540,9 @@ impl Network {
     pub fn allocate_packet_id(&mut self) -> PacketId {
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
+        // Pin the registry window: the packet may be registered well after
+        // later-allocated ids have come and gone.
+        self.packets.reserve(id.0);
         id
     }
 
@@ -594,7 +614,7 @@ impl Network {
         now: SimTime,
         sched: &mut impl NetSched,
     ) {
-        let total = self.packets[&id.0].wire_len();
+        let total = self.packets.get(id.0).expect("packet exists").wire_len();
         self.note(id, "reinject", u32::from(host.0), now);
         self.trace(id, Stage::NetReinject, u32::from(host.0), now);
         let hp = &mut self.hosts[host.idx()];
@@ -935,7 +955,12 @@ impl Network {
         }
         // Peek the route byte to learn the output kind (kind-dependent
         // fall-through), without consuming it yet.
-        let hdr = &self.packets[&front.id.0].desc.header;
+        let hdr = &self
+            .packets
+            .get(front.id.0)
+            .expect("packet exists")
+            .desc
+            .header;
         let out_port = itb_routing::wire::decode_route_byte(hdr.as_bytes()[0])
             .expect("packet at a switch must lead with a route byte");
         let kin = self.topo.switch_port_kind(sw, port);
@@ -967,7 +992,7 @@ impl Network {
         front.received -= 1;
         inp.occupancy -= 1;
         front.routed = true;
-        let pkt = self.packets.get_mut(&id.0).expect("packet exists");
+        let pkt = self.packets.get_mut(id.0).expect("packet exists");
         let out_port = pkt.desc.header.consume_route_byte();
         pkt.route_bytes_consumed += 1;
         let inp = self.inputs[sw.idx()][port.idx()].as_mut().unwrap();
@@ -1096,7 +1121,7 @@ impl Network {
     /// the event queue drained — i.e. a wormhole deadlock or a packet parked
     /// at a NIC awaiting action. Used by tests to *observe* deadlock.
     pub fn parked_packets(&self) -> Vec<PacketId> {
-        let mut v: Vec<PacketId> = self.packets.keys().map(|&k| PacketId(k)).collect();
+        let mut v: Vec<PacketId> = self.packets.ids().map(PacketId).collect();
         v.sort();
         v
     }

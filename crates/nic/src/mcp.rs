@@ -26,9 +26,9 @@ use crate::timing::McpTiming;
 use itb_net::{HostIndication, NetSched, Network, PacketDesc, PacketId};
 use itb_obs::Stage;
 use itb_routing::wire::{TYPE_GM, TYPE_ITB};
-use itb_sim::SimTime;
+use itb_sim::{FxHashMap, SimTime};
 use itb_topo::HostId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Which firmware runs on this NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +90,7 @@ pub struct Nic {
     send_queue: VecDeque<SendJob>,
     send_buffers_free: u8,
     recv_buffers_free: u8,
-    recv: HashMap<u64, RecvState>,
+    recv: FxHashMap<u64, RecvState>,
     /// The paper's "ITB packet pending" flag (a queue, since several may
     /// arrive while the send DMA is busy).
     itb_pending: VecDeque<PacketId>,
@@ -115,7 +115,7 @@ impl Nic {
             send_queue: VecDeque::new(),
             send_buffers_free: timing.send_buffers,
             recv_buffers_free: timing.recv_buffers,
-            recv: HashMap::new(),
+            recv: FxHashMap::default(),
             itb_pending: VecDeque::new(),
             deferred_heads: VecDeque::new(),
             crashed: false,
@@ -176,6 +176,13 @@ impl Nic {
     /// Drain outputs for the GM layer.
     pub fn take_outputs(&mut self) -> Vec<NicOutput> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Append pending outputs to `buf`, keeping this NIC's buffer capacity.
+    /// The cluster event loop prefers this over [`Nic::take_outputs`]: no
+    /// per-event allocation.
+    pub fn drain_outputs_into(&mut self, buf: &mut Vec<NicOutput>) {
+        buf.append(&mut self.outputs);
     }
 
     /// Occupy the CPU for `cycles` starting no earlier than `now`; returns

@@ -63,13 +63,87 @@ pub fn crc8(data: &[u8]) -> u8 {
     crc
 }
 
-/// Header built from a [`SourceRoute`]: everything before the payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Header {
-    bytes: Vec<u8>,
+/// Inline capacity of a [`Header`]. Real headers are tiny — a 5-switch
+/// ITB path is under 24 bytes (route bytes + 3 per in-transit stop + the
+/// 2-byte type) — so virtually every packet fits inline and header
+/// encode/clone/strip never touch the heap. Longer headers (deep synthetic
+/// fabrics) spill to a `Vec` transparently.
+const INLINE_CAP: usize = 30;
+
+/// Storage behind a [`Header`]: inline array for the common case, heap
+/// spill for pathological route lengths. `start` is the consumption cursor
+/// — switches and in-transit NICs strip leading bytes, which is a cursor
+/// bump here, not a memmove.
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        start: u8,
+        len: u8,
+        buf: [u8; INLINE_CAP],
+    },
+    Heap {
+        start: usize,
+        bytes: Vec<u8>,
+    },
 }
 
+/// Header built from a [`SourceRoute`]: everything before the payload.
+///
+/// Representation note: stored with a small-buffer optimization and a
+/// front cursor, so the per-packet hot operations (clone at injection,
+/// route-byte consumption at every switch, ITB-group strip at every
+/// in-transit NIC) are allocation-free and O(1). Equality and hashing are
+/// over the *remaining* logical bytes, as before.
+#[derive(Clone)]
+pub struct Header {
+    repr: Repr,
+}
+
+impl std::fmt::Debug for Header {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Header")
+            .field("bytes", &self.as_bytes())
+            .finish()
+    }
+}
+
+impl PartialEq for Header {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+impl Eq for Header {}
+
 impl Header {
+    /// Wrap already-encoded header bytes (tests, captured wire data).
+    pub fn from_bytes(bytes: &[u8]) -> Header {
+        let repr = if bytes.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Repr::Inline {
+                start: 0,
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            Repr::Heap {
+                start: 0,
+                bytes: bytes.to_vec(),
+            }
+        };
+        Header { repr }
+    }
+
+    /// Advance the consumption cursor by `n` bytes (the front bytes are
+    /// gone from the wire's perspective).
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        debug_assert!(n <= self.len());
+        match &mut self.repr {
+            Repr::Inline { start, .. } => *start += n as u8,
+            Repr::Heap { start, .. } => *start += n,
+        }
+    }
     /// Encode the header for `route` (paper Figure 3b). With a single
     /// segment this degenerates to the original format of Figure 3a.
     ///
@@ -112,23 +186,32 @@ impl Header {
             tail = combined;
         }
         bytes.extend(tail);
-        Header { bytes }
+        Header::from_bytes(&bytes)
     }
 
-    /// The raw header bytes.
+    /// The raw header bytes (those not yet consumed by switches / ITB NICs).
+    #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+        match &self.repr {
+            Repr::Inline { start, len, buf } => &buf[*start as usize..*len as usize],
+            Repr::Heap { start, bytes } => &bytes[*start..],
+        }
     }
 
     /// Header length in bytes (this rides on the wire, so it contributes to
     /// transfer time).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        match &self.repr {
+            Repr::Inline { start, len, .. } => (*len - *start) as usize,
+            Repr::Heap { start, bytes } => bytes.len() - *start,
+        }
     }
 
     /// Whether the header is empty (never true for a valid route).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.len() == 0
     }
 
     /// Strip the leading route byte — what a switch does when it routes the
@@ -138,22 +221,23 @@ impl Header {
     /// Panics if the leading byte is not a route byte (routing a packet that
     /// has already arrived is a model bug).
     pub fn consume_route_byte(&mut self) -> PortIx {
-        let b = self.bytes[0];
+        let b = self.as_bytes()[0];
         let port = decode_route_byte(b).expect("leading byte must be a route byte");
-        self.bytes.remove(0);
+        self.advance(1);
         port
     }
 
     /// Peek the packet type in the leading two bytes, if the header
     /// currently starts with a type (i.e. the packet is at a NIC).
     pub fn packet_type(&self) -> Option<u16> {
-        if self.bytes.len() < 2 {
+        let b = self.as_bytes();
+        if b.len() < 2 {
             return None;
         }
-        if decode_route_byte(self.bytes[0]).is_some() {
+        if decode_route_byte(b[0]).is_some() {
             return None;
         }
-        Some(u16::from_be_bytes([self.bytes[0], self.bytes[1]]))
+        Some(u16::from_be_bytes([b[0], b[1]]))
     }
 
     /// At an in-transit NIC: strip the `ITB | Length` group, leaving the
@@ -164,9 +248,9 @@ impl Header {
     /// Panics if the header does not start with [`TYPE_ITB`].
     pub fn strip_itb_group(&mut self) -> u8 {
         assert_eq!(self.packet_type(), Some(TYPE_ITB), "not an ITB packet");
-        let len = self.bytes[2];
-        self.bytes.drain(..3);
-        debug_assert_eq!(self.bytes.len(), len as usize);
+        let len = self.as_bytes()[2];
+        self.advance(3);
+        debug_assert_eq!(self.len(), len as usize);
         len
     }
 }
@@ -177,7 +261,7 @@ pub fn decode_segments(header: &Header) -> Option<Vec<Vec<PortIx>>> {
     let mut segs = Vec::new();
     let mut cur = Vec::new();
     let mut i = 0;
-    let b = &header.bytes;
+    let b = header.as_bytes();
     while i < b.len() {
         if let Some(p) = decode_route_byte(b[i]) {
             cur.push(p);
@@ -339,10 +423,36 @@ mod tests {
     fn truncated_header_fails_decode() {
         let r = SourceRoute::direct(HostId(0), HostId(1), hops(&[1, 2]));
         let h = Header::encode(&r);
-        let cut = Header {
-            bytes: h.as_bytes()[..h.len() - 1].to_vec(),
-        };
+        let cut = Header::from_bytes(&h.as_bytes()[..h.len() - 1]);
         assert!(decode_segments(&cut).is_none());
+    }
+
+    #[test]
+    fn long_header_spills_to_heap_and_consumes_identically() {
+        // A route long enough to exceed INLINE_CAP must behave exactly like
+        // the inline representation under the same consumption walk.
+        let ports: Vec<u8> = (0..40).map(|i| i % 16).collect();
+        let r = SourceRoute::direct(HostId(0), HostId(1), hops(&ports));
+        let mut h = Header::encode(&r);
+        assert!(h.len() > INLINE_CAP, "test must exercise the heap repr");
+        let full = h.as_bytes().to_vec();
+        assert_eq!(Header::from_bytes(&full), h);
+        for &p in &ports {
+            assert_eq!(h.consume_route_byte(), PortIx(p));
+        }
+        assert_eq!(h.packet_type(), Some(TYPE_GM));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn clone_is_independent_of_cursor() {
+        let r = SourceRoute::direct(HostId(0), HostId(1), hops(&[1, 2, 3]));
+        let mut h = Header::encode(&r);
+        let snapshot = h.clone();
+        h.consume_route_byte();
+        assert_eq!(snapshot.len(), 5, "clone keeps its own cursor");
+        assert_ne!(snapshot, h);
+        assert_eq!(snapshot.as_bytes()[0], ROUTE_TAG | 1);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! * [`SimTime`] / [`SimDuration`] — integer picosecond simulation clock.
 //!   Picoseconds keep link byte-times (6.25 ns at 160 MB/s) and LANai cycle
 //!   times (15.15 ns at 66 MHz) exact, with headroom for multi-second runs.
-//! * [`EventQueue`] — a binary-heap calendar with a deterministic FIFO
+//! * [`EventQueue`] — a 4-ary-heap calendar with a deterministic FIFO
 //!   tie-break for simultaneous events, so identical seeds yield identical
 //!   runs bit for bit.
+//! * [`fxmap`] — deterministic fixed-seed hashing for the hot per-packet
+//!   maps (no SipHash cost, no per-process iteration-order randomness).
 //! * [`World`] / [`run_until`] — the minimal event-loop contract used by the
 //!   integrated cluster simulator in `itb-gm`.
 //! * [`stats`] — streaming accumulators, histograms and (x, y) series used by
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fxmap;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -28,6 +31,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{run_for, run_until, run_while, World};
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};

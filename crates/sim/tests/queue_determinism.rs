@@ -1,0 +1,116 @@
+//! Differential proof that the 4-ary-heap [`EventQueue`] pops in exactly
+//! the order of the original `BinaryHeap`-backed implementation.
+//!
+//! The queue's contract is stronger than "time-sorted": simultaneous events
+//! pop in schedule order (FIFO), and firmware race resolution depends on it.
+//! Because every entry carries a unique `(time, seq)` key, *any* correct
+//! min-heap pops the same total order — this test pins that equivalence on
+//! randomized workloads with heavy timestamp collisions and interleaved
+//! schedule/pop phases.
+
+use itb_sim::{EventQueue, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The previous implementation, kept verbatim as the reference model: a
+/// `std::collections::BinaryHeap` of `Reverse<(time, seq, payload)>`.
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    seq: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, payload)));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.pop().map(|Reverse((t, _, p))| (t, p))
+    }
+}
+
+/// Tiny deterministic xorshift so the workload is reproducible.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let x = &mut self.0;
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+}
+
+/// Drive both queues through an identical randomized schedule/pop
+/// interleaving and assert identical pop sequences.
+fn differential_run(seed: u64, rounds: usize, time_range: u64) {
+    let mut rng = XorShift(seed);
+    let mut dut: EventQueue<u64> = EventQueue::new();
+    let mut reference = ReferenceQueue::new();
+    let mut payload = 0u64;
+    // Track the reference clock so neither queue is scheduled into the past.
+    let mut now = SimTime::ZERO;
+    for round in 0..rounds {
+        // Burst of schedules. A small time range forces many exact ties.
+        let burst = (rng.next() % 8) as usize + 1;
+        for _ in 0..burst {
+            let at = now + itb_sim::SimDuration::from_ns(rng.next() % time_range);
+            dut.schedule(at, payload);
+            reference.schedule(at, payload);
+            payload += 1;
+        }
+        // Pop a few (sometimes none, sometimes a drain).
+        let pops = if round % 13 == 0 {
+            usize::MAX // drain fully
+        } else {
+            (rng.next() % 4) as usize
+        };
+        for _ in 0..pops {
+            let got = dut.pop();
+            let want = reference.pop();
+            assert_eq!(got, want, "divergence at round {round} (seed {seed})");
+            match got {
+                Some((t, _)) => now = t,
+                None => break,
+            }
+        }
+    }
+    // Final drain: every remaining entry must match too.
+    loop {
+        let got = dut.pop();
+        let want = reference.pop();
+        assert_eq!(got, want, "divergence in final drain (seed {seed})");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn matches_binary_heap_order_on_collision_heavy_schedules() {
+    // time_range 3: almost everything ties, exercising pure FIFO order.
+    differential_run(0x9E37_79B9_7F4A_7C15, 400, 3);
+}
+
+#[test]
+fn matches_binary_heap_order_on_sparse_schedules() {
+    differential_run(0x2545_F491_4F6C_DD1D, 400, 10_000);
+}
+
+#[test]
+fn matches_binary_heap_order_across_seeds() {
+    for seed in 1..=32u64 {
+        differential_run(seed, 120, 7);
+        differential_run(seed.wrapping_mul(0xD134_2543_DE82_EF95), 120, 1_000);
+    }
+}

@@ -14,8 +14,8 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings, incl. perf lints) =="
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -23,10 +23,20 @@ cargo fmt --check
 echo "== chaos smoke (seeded faults, exactly-once) =="
 chaos_a=$(mktemp -d)
 chaos_b=$(mktemp -d)
-trap 'rm -rf "$chaos_a" "$chaos_b"' EXIT
+perf_a=$(mktemp -d)
+perf_b=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b"' EXIT
 ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
 echo "== chaos determinism (same seed twice, byte-identical artifact) =="
 ITB_RESULTS_DIR="$chaos_b" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
 cmp "$chaos_a/chaos_soak.json" "$chaos_b/chaos_soak.json"
+
+echo "== perf smoke (tiny gauntlet, deterministic digest twice) =="
+# Wall-clock numbers vary run to run; the digest holds only sim-side facts
+# (event counts, sim time, deliveries) and must be byte-identical — any
+# difference means an engine change perturbed event order.
+ITB_RESULTS_DIR="$perf_a" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+ITB_RESULTS_DIR="$perf_b" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+cmp "$perf_a/perf_gauntlet_digest.json" "$perf_b/perf_gauntlet_digest.json"
 
 echo "CI OK"

@@ -95,12 +95,26 @@ impl<T: Send, F> ParMap<T, F> {
     }
 }
 
+/// Worker-count ceiling from the `ITB_THREADS` environment variable, if set
+/// to a positive integer. Lets batch jobs (CI, shared perf boxes) cap the
+/// harness's parallelism without a code change.
+fn env_thread_cap() -> Option<usize> {
+    let raw = std::env::var("ITB_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
+    let mut threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n.max(1));
+    if let Some(cap) = env_thread_cap() {
+        threads = threads.min(cap);
+    }
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -149,5 +163,34 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn itb_threads_env_caps_workers() {
+        // Results must be correct and ordered whatever the cap; with a cap
+        // of 1 the whole map runs on the calling thread, so at most one
+        // distinct worker id may appear. (Env vars are process-global; other
+        // tests in this crate don't set ITB_THREADS.)
+        std::env::set_var("ITB_THREADS", "1");
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        let out: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                i + 1
+            })
+            .collect();
+        std::env::remove_var("ITB_THREADS");
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+        assert_eq!(ids.lock().unwrap().len(), 1, "cap of 1 means one worker");
+        // Garbage values are ignored, not fatal.
+        assert_eq!(super::env_thread_cap(), None);
+        std::env::set_var("ITB_THREADS", "nope");
+        assert_eq!(super::env_thread_cap(), None);
+        std::env::set_var("ITB_THREADS", "0");
+        assert_eq!(super::env_thread_cap(), None);
+        std::env::set_var("ITB_THREADS", " 3 ");
+        assert_eq!(super::env_thread_cap(), Some(3));
+        std::env::remove_var("ITB_THREADS");
     }
 }
