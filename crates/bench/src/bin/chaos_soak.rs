@@ -15,8 +15,7 @@ use itb_gm::AppBehavior;
 use itb_net::FaultPlan;
 use itb_nic::McpFlavor;
 use itb_routing::figures;
-use itb_sim::{run_until, EventQueue, SimDuration, SimTime};
-use std::collections::HashSet;
+use itb_sim::{run_until, EventQueue, FxHashSet, SimDuration, SimTime};
 
 /// The seeded fault schedule: background drop/corrupt noise on every link,
 /// one outage of the first inter-switch cable, one crash of the in-transit
@@ -89,7 +88,7 @@ fn main() {
         "no duplicate application deliveries"
     );
     let log = c.delivery_log();
-    let unique: HashSet<u32> = log.iter().map(|&(_, _, id)| id).collect();
+    let unique: FxHashSet<u32> = log.iter().map(|&(_, _, id)| id).collect();
     assert_eq!(unique.len(), total, "each message delivered exactly once");
     for &(from, to) in &[(tb.host1, tb.host2), (tb.host2, tb.host1)] {
         let ids: Vec<u32> = log

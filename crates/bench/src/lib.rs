@@ -4,6 +4,8 @@
 //! plots AND writes the raw data as JSON under `results/` so EXPERIMENTS.md
 //! numbers stay regenerable artifacts.
 
+#![deny(unsafe_code)]
+
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -12,6 +14,7 @@ pub fn results_dir() -> PathBuf {
     let dir = std::env::var("ITB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     let p = PathBuf::from(dir);
     std::fs::create_dir_all(&p)
+        // detlint::allow(S001, the bench harness aborts if the results dir cannot be created)
         .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", p.display()));
     p
 }
@@ -19,6 +22,7 @@ pub fn results_dir() -> PathBuf {
 /// Serialize `value` to `results/<name>.json` and report the path.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     let json = serde_json::to_string_pretty(value)
+        // detlint::allow(S001, digest structs always serialize; abort is the bench failure mode)
         .unwrap_or_else(|e| panic!("result {name} does not serialize: {e}"));
     dump_text(&format!("{name}.json"), &json);
 }
@@ -29,6 +33,7 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
 pub fn dump_text(file: &str, contents: &str) {
     let path = results_dir().join(file);
     std::fs::write(&path, contents)
+        // detlint::allow(S001, the bench harness aborts if the results file cannot be written)
         .unwrap_or_else(|e| panic!("cannot write result file {}: {e}", path.display()));
     println!("[wrote {}]", path.display());
 }
@@ -45,6 +50,9 @@ pub fn row(cells: &[f64], width: usize, prec: usize) -> String {
 /// Render up to four `(label, points)` series as a quick terminal chart —
 /// log-scaled x (byte sizes), linear y — so the `fig*` binaries echo the
 /// paper's figures visually as well as numerically.
+// Grid coordinates are normalized into [0, width) x [0, height) before the
+// cast, so the f64 -> usize conversions cannot truncate.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     const MARKS: [char; 4] = ['o', '+', 'x', '*'];
     let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();

@@ -17,6 +17,7 @@
 //! safe and the per-point results stay bit-deterministic.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod calib;
 pub mod experiments;

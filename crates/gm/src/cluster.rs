@@ -9,7 +9,7 @@ use itb_net::{FaultPlan, HostCrash, NetConfig, NetEvent, NetSched, Network, Pack
 use itb_nic::{McpFlavor, McpTiming, Nic, NicEvent, NicOutput, NicSched};
 use itb_routing::planner::ItbHostSelection;
 use itb_routing::{RouteTable, RoutingPolicy, SourceRoute};
-use itb_sim::{EventQueue, FxHashMap, SimRng, SimTime, World};
+use itb_sim::{narrow, EventQueue, FxHashMap, SimDuration, SimRng, SimTime, World};
 use itb_topo::{HostId, Topology, UpDown};
 use std::sync::Arc;
 
@@ -192,10 +192,12 @@ impl Cluster {
             p.topo.num_hosts(),
             "one behavior per host"
         );
+        // detlint::allow(S001, cluster construction rejects invalid topologies)
         p.topo.validate().expect("topology must be valid");
         let ud = UpDown::compute_default(&p.topo);
         let mut table =
             RouteTable::compute_with_selection(&p.topo, &ud, p.routing, p.itb_selection)
+                // detlint::allow(S001, validated topologies are connected so routing succeeds)
                 .expect("connected topology routes");
         for r in p.route_overrides {
             assert!(
@@ -210,10 +212,10 @@ impl Cluster {
         }
         let table = Arc::new(table);
         let n = p.topo.num_hosts();
-        let nics = (0..n as u16)
+        let nics = (0..narrow::<u16, _>(n))
             .map(|h| Nic::new(HostId(h), p.flavor, p.mcp))
             .collect();
-        let hosts = (0..n as u16)
+        let hosts = (0..narrow::<u16, _>(n))
             .map(|h| Host::new(HostId(h), p.gm, Arc::clone(&table), n))
             .collect();
         let master = SimRng::new(p.seed);
@@ -264,7 +266,7 @@ impl Cluster {
             );
         }
         for h in 0..self.behaviors.len() {
-            let host = HostId(h as u16);
+            let host = HostId(narrow(h));
             match &self.behaviors[h] {
                 AppBehavior::Sink | AppBehavior::Echo => {}
                 AppBehavior::PingPong { .. }
@@ -278,7 +280,7 @@ impl Cluster {
                 AppBehavior::Poisson { mean_gap, .. } => {
                     let gap = self.rngs[h].exp(mean_gap.as_ns_f64());
                     q.schedule(
-                        SimTime::from_ps((gap * 1e3) as u64),
+                        SimTime::ZERO + SimDuration::from_ns_f64(gap),
                         ClusterEvent::Host(HostEvent::AppSend { host }),
                     );
                 }
@@ -316,6 +318,9 @@ impl Cluster {
 
     /// Messages delivered so far. O(1): experiment stop predicates call this
     /// once per dispatched event.
+    // Every delivered message was first held in memory, so the count fits
+    // in usize on any target that ran the simulation.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn delivered_count(&self) -> usize {
         self.delivered_messages as usize
     }
@@ -338,7 +343,7 @@ impl Cluster {
     /// distribution. Diff two snapshots with [`itb_obs::Snapshot::delta`].
     pub fn metrics_snapshot(&self, now: SimTime) -> itb_obs::Snapshot {
         let mut s = itb_obs::Snapshot::new();
-        s.at_ns = now.as_ns_f64() as u64;
+        s.at_ns = now.as_ps() / 1_000;
         let n = self.net.stats();
         s.counters.insert("net.injected".into(), n.injected);
         s.counters.insert("net.reinjected".into(), n.reinjected);
@@ -705,19 +710,19 @@ impl Cluster {
                 self.poisson_sent[host.idx()] += 1;
                 // Uniform random destination other than self.
                 let n = self.hosts.len() as u64;
-                let mut dst = self.rngs[host.idx()].below(n - 1) as u16;
+                let mut dst = narrow::<u16, _>(self.rngs[host.idx()].below(n - 1));
                 if dst >= host.0 {
                     dst += 1;
                 }
                 self.send_message(host, HostId(dst), size, now, q);
                 let gap = self.rngs[host.idx()].exp(mean_gap.as_ns_f64());
                 q.schedule_after(
-                    itb_sim::SimDuration::from_ps((gap * 1e3) as u64),
+                    SimDuration::from_ns_f64(gap),
                     ClusterEvent::Host(HostEvent::AppSend { host }),
                 );
             }
             AppBehavior::AllToAll { size, gap } => {
-                let n = self.hosts.len() as u32;
+                let n: u32 = narrow(self.hosts.len());
                 let k = self.a2a_sent[host.idx()];
                 if k >= n - 1 {
                     return;
@@ -726,7 +731,7 @@ impl Cluster {
                 // Destination order: host+1, host+2, ... (mod n), skipping
                 // self — every host starts its exchange at a different peer,
                 // the standard skew for total exchanges.
-                let dst = HostId(((u32::from(host.0) + 1 + k) % n) as u16);
+                let dst = HostId(narrow((u32::from(host.0) + 1 + k) % n));
                 self.send_message(host, dst, size, now, q);
                 if self.a2a_sent[host.idx()] < n - 1 {
                     q.schedule_after(gap, ClusterEvent::Host(HostEvent::AppSend { host }));
@@ -766,6 +771,7 @@ impl Cluster {
                 ..
             } => {
                 let st = &mut self.ping[host.idx()];
+                // detlint::allow(S001, a pong is only delivered for an in-flight ping)
                 let sent = st.sent_at.take().expect("pong matches an in-flight ping");
                 let rtt = now - sent;
                 if st.iter >= warmup {

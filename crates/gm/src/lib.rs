@@ -19,6 +19,7 @@
 //!   NICs + hosts behind one deterministic event loop.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod apps;
 pub mod cluster;

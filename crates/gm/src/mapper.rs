@@ -21,7 +21,7 @@
 //! route validity, and the mapper has no way to sense cable flavour.
 
 use itb_routing::{RouteTable, RoutingPolicy};
-use itb_sim::SimDuration;
+use itb_sim::{narrow, SimDuration};
 use itb_topo::{HostId, Node, PortIx, PortKind, Topology, UpDown};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -116,7 +116,7 @@ impl ProbeTransport for FabricProbe<'_> {
     fn max_ports(&self) -> u8 {
         self.topo
             .switch_ids()
-            .map(|s| self.topo.switch_port_count(s) as u8)
+            .map(|s| narrow::<u8, _>(self.topo.switch_port_count(s)))
             .max()
             .unwrap_or(0)
     }
@@ -163,6 +163,7 @@ pub fn map_network<T: ProbeTransport>(transport: &mut T) -> NetworkMap {
 
     // The empty route ends inside the switch the mapper hangs off.
     let ProbeOutcome::Switch { serial: root } = transport.probe(&[]) else {
+        // detlint::allow(S001, the mapper host is always attached to a switch port by construction)
         panic!("mapping host must be attached to a switch");
     };
     let mut queue = VecDeque::new();
@@ -200,7 +201,11 @@ pub fn map_network<T: ProbeTransport>(transport: &mut T) -> NetworkMap {
                     PortTarget::Switch(far)
                 }
             };
-            switches.get_mut(&serial).unwrap().ports[usize::from(p)] = target;
+            switches
+                .get_mut(&serial)
+                // detlint::allow(S001, the serial was recorded when the switch was first seen)
+                .expect("serial recorded at discovery")
+                .ports[usize::from(p)] = target;
         }
     }
 
@@ -264,11 +269,12 @@ impl NetworkMap {
         // Host cables.
         for (&h, &(serial, port)) in &self.hosts {
             t.connect_host(h, serial_ix[&serial], port.0, prop)
+                // detlint::allow(S001, discovery claims each host port exactly once)
                 .expect("discovered host port is free");
         }
         // Switch cables: for each unordered pair, collect the ports on both
         // sides and pair them in ascending order.
-        let mut done: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        let mut done: itb_sim::FxHashSet<(u64, u64)> = itb_sim::FxHashSet::default();
         for (&sa, sw) in &self.switches {
             for (p, target) in sw.ports.iter().enumerate() {
                 let PortTarget::Switch(sb) = *target else {
@@ -286,11 +292,12 @@ impl NetworkMap {
                         .iter()
                         .enumerate()
                         .filter(|(_, t)| **t == PortTarget::Switch(sa))
-                        .map(|(i, _)| i as u8)
+                        .map(|(i, _)| narrow(i))
                         .collect();
                     for pair in selfs.chunks(2) {
                         if let [x, y] = *pair {
                             t.connect_switches(serial_ix[&sa], x, serial_ix[&sa], y, prop)
+                                // detlint::allow(S001, self-loop ports were free when probed)
                                 .expect("self-loop ports free");
                         }
                     }
@@ -301,23 +308,25 @@ impl NetworkMap {
                     .iter()
                     .enumerate()
                     .filter(|(_, t)| **t == PortTarget::Switch(sb))
-                    .map(|(i, _)| i as u8)
+                    .map(|(i, _)| narrow(i))
                     .collect();
                 let b_ports: Vec<u8> = self.switches[&sb]
                     .ports
                     .iter()
                     .enumerate()
                     .filter(|(_, t)| **t == PortTarget::Switch(sa))
-                    .map(|(i, _)| i as u8)
+                    .map(|(i, _)| narrow(i))
                     .collect();
                 debug_assert_eq!(a_ports.len(), b_ports.len(), "asymmetric discovery");
                 for (&pa, &pb) in a_ports.iter().zip(&b_ports) {
                     t.connect_switches(serial_ix[&sa], pa, serial_ix[&sb], pb, prop)
+                        // detlint::allow(S001, discovered ports are claimed exactly once)
                         .expect("discovered ports free");
                 }
                 let _ = p;
             }
         }
+        // detlint::allow(S001, the mapper reconstructs a connected topology from a connected fabric)
         t.validate().expect("reconstructed map is connected");
         t
     }
@@ -327,6 +336,7 @@ impl NetworkMap {
     pub fn compute_routes(&self, policy: RoutingPolicy) -> RouteTable {
         let topo = self.to_topology();
         let ud = UpDown::compute_default(&topo);
+        // detlint::allow(S001, a validated reconstruction keeps the map connected)
         RouteTable::compute(&topo, &ud, policy).expect("map is connected")
     }
 }

@@ -5,6 +5,8 @@
 //! integrity tag instead (their byte cost is folded into the GM packet
 //! constants).
 
+use itb_sim::narrow;
+
 /// Packet kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
@@ -77,8 +79,8 @@ impl PacketMeta {
         PacketMeta {
             kind,
             last_in_msg: (tag >> LAST_SHIFT) & 1 == 1,
-            msg_id: ((tag >> MSG_SHIFT) & MSG_MASK) as u32,
-            seq: (tag & u64::from(u32::MAX)) as u32,
+            msg_id: narrow((tag >> MSG_SHIFT) & MSG_MASK),
+            seq: narrow(tag & u64::from(u32::MAX)),
         }
     }
 }

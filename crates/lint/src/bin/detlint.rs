@@ -1,0 +1,96 @@
+//! detlint CLI — scan the workspace, print findings, write the JSON report,
+//! exit nonzero on any unallowed finding.
+//!
+//! Usage: `detlint [--root DIR] [--json PATH] [--quiet]`
+//!
+//! The JSON report defaults to `<root>/results/detlint.json`, or
+//! `$ITB_RESULTS_DIR/detlint.json` when that variable is set (matching the
+//! bench binaries' convention so CI can redirect artifacts).
+
+#![deny(unsafe_code)]
+
+use itb_lint::lint_tree;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: detlint [--root DIR] [--json PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let json = json.unwrap_or_else(|| {
+        std::env::var_os("ITB_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| root.join("results"))
+            .join("detlint.json")
+    });
+
+    let report = match lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut unallowed = 0usize;
+    for f in &report.findings {
+        if f.allowed {
+            continue;
+        }
+        unallowed += 1;
+        if !quiet {
+            println!("{}:{}: {} {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+
+    if let Some(dir) = json.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("detlint: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&json, report.to_json()) {
+        eprintln!("detlint: cannot write {}: {e}", json.display());
+        return ExitCode::FAILURE;
+    }
+
+    let allowed = report.findings.len() - unallowed;
+    println!(
+        "detlint: {} files scanned, {} unallowed finding(s), {} allowed; report: {}",
+        report.files_scanned,
+        unallowed,
+        allowed,
+        json.display()
+    );
+    if unallowed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("detlint: {err}\nusage: detlint [--root DIR] [--json PATH] [--quiet]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,374 @@
+//! A minimal Rust token scanner.
+//!
+//! detlint does not parse Rust — it only needs a token stream that is
+//! *correct about what is code and what is not*. The scanner therefore
+//! handles exactly the lexical features that could fool a grep: line and
+//! (nested) block comments, string/byte-string literals with escapes, raw
+//! strings with arbitrary `#` fences, char literals vs. lifetimes, and
+//! numeric literals (so float literals can be told apart from integers).
+//! Everything else is an identifier or a single-character punctuation token.
+//!
+//! Comments are not discarded: their text and line numbers are kept so the
+//! rule engine can honour `detlint::allow` annotations.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e3`, `2f64`).
+    Float,
+    /// String, byte-string or raw-string literal (content dropped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Identifier text; empty for non-identifier tokens.
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+        self.pos - start
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scan `src` into tokens and comments.
+///
+/// The scanner never fails: bytes it does not understand (non-ASCII outside
+/// strings and comments, stray punctuation) become punctuation tokens, which
+/// no rule matches on. That keeps the gate robust on any input.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = s.peek() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => lex_line_comment(&mut s, &mut out),
+            b'/' if s.peek_at(1) == Some(b'*') => lex_block_comment(&mut s, &mut out),
+            b'"' => lex_string(&mut s, &mut out),
+            b'\'' => lex_char_or_lifetime(&mut s, &mut out),
+            b'r' | b'b' if raw_or_byte_string_ahead(&s) => lex_prefixed_string(&mut s, &mut out),
+            _ if is_ident_start(b) => {
+                let line = s.line;
+                let start = s.pos;
+                s.eat_while(is_ident_continue);
+                let text = src[start..s.pos].to_string();
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => lex_number(&mut s, &mut out),
+            _ => {
+                let line = s.line;
+                s.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(b as char),
+                    text: String::new(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the `r`/`b` at the cursor introduces a string-like literal
+/// (`r"`, `r#`, `b"`, `b'`, `br"`, `br#`) rather than an identifier.
+fn raw_or_byte_string_ahead(s: &Scanner<'_>) -> bool {
+    matches!(
+        (s.peek(), s.peek_at(1), s.peek_at(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn lex_line_comment(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    let start = s.pos;
+    while let Some(b) = s.peek() {
+        if b == b'\n' {
+            break;
+        }
+        s.bump();
+    }
+    let text = String::from_utf8_lossy(&s.src[start..s.pos]).into_owned();
+    out.comments.push(Comment { text, line });
+}
+
+fn lex_block_comment(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    let start = s.pos;
+    s.bump();
+    s.bump(); // consume "/*"
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (s.peek(), s.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                s.bump();
+                s.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                s.bump();
+                s.bump();
+            }
+            (Some(_), _) => {
+                s.bump();
+            }
+            (None, _) => break, // unterminated: tolerate
+        }
+    }
+    let text = String::from_utf8_lossy(&s.src[start..s.pos]).into_owned();
+    out.comments.push(Comment { text, line });
+}
+
+/// Plain `"..."` string with escape handling.
+fn lex_string(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    s.bump(); // opening quote
+    while let Some(b) = s.bump() {
+        match b {
+            b'\\' => {
+                s.bump(); // skip escaped byte (covers \" and \\)
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Str,
+        text: String::new(),
+        line,
+    });
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, `b'x'`.
+fn lex_prefixed_string(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    let mut raw = false;
+    if s.peek() == Some(b'b') {
+        s.bump();
+        if s.peek() == Some(b'\'') {
+            // byte char literal b'x'
+            s.bump();
+            while let Some(b) = s.bump() {
+                match b {
+                    b'\\' => {
+                        s.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+            return;
+        }
+    }
+    if s.peek() == Some(b'r') {
+        raw = true;
+        s.bump();
+    }
+    if raw {
+        let fence = s.eat_while(|b| b == b'#');
+        s.bump(); // opening quote
+        'outer: while let Some(b) = s.bump() {
+            if b == b'"' {
+                // need `fence` hashes to close
+                for i in 0..fence {
+                    if s.peek_at(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fence {
+                    s.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        // b"..." — same escape rules as a plain string
+        s.bump(); // opening quote
+        while let Some(b) = s.bump() {
+            match b {
+                b'\\' => {
+                    s.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Str,
+        text: String::new(),
+        line,
+    });
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn lex_char_or_lifetime(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    // Lifetime: quote, ident run, and the run is NOT closed by another quote.
+    if let Some(b1) = s.peek_at(1) {
+        if is_ident_start(b1) {
+            let mut n = 2;
+            while s.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if s.peek_at(n) != Some(b'\'') {
+                for _ in 0..n {
+                    s.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                    line,
+                });
+                return;
+            }
+        }
+    }
+    // Char literal.
+    s.bump(); // opening quote
+    while let Some(b) = s.bump() {
+        match b {
+            b'\\' => {
+                s.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Char,
+        text: String::new(),
+        line,
+    });
+}
+
+fn lex_number(s: &mut Scanner<'_>, out: &mut Lexed) {
+    let line = s.line;
+    let mut float = false;
+    if s.peek() == Some(b'0')
+        && matches!(s.peek_at(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+    {
+        // Radix literal: always an integer (hex digits include 'e').
+        s.bump();
+        s.bump();
+        s.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    } else {
+        s.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        // Fractional part: a dot followed by a digit (`1.max()` stays an int).
+        if s.peek() == Some(b'.') && s.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            s.bump();
+            s.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+        // Exponent.
+        if matches!(s.peek(), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(s.peek_at(1), Some(b'+' | b'-')));
+            if s.peek_at(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                s.bump(); // e
+                for _ in 0..sign {
+                    s.bump();
+                }
+                s.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Type suffix (u64, f32, ...).
+        if s.peek().is_some_and(is_ident_start) {
+            let start = s.pos;
+            s.eat_while(is_ident_continue);
+            let suffix = &s.src[start..s.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text: String::new(),
+        line,
+    });
+}

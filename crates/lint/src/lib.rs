@@ -1,0 +1,83 @@
+//! `itb-lint` — the workspace's determinism & soundness analyzer.
+//!
+//! Every headline number in this repo (the fig7 121 ns ITB overhead, the
+//! fig8 1.316 µs/hop figure, the chaos and perf digests) rests on one
+//! property: *the simulation is bit-deterministic under a fixed seed*.
+//! Nothing in the type system stops a refactor from quietly breaking that —
+//! a default-hasher map whose iteration order leaks into a report, a
+//! wall-clock read in a sim path, a narrowing cast that wraps a sequence
+//! number. `detlint` encodes those invariants as machine-checked rules and
+//! runs as a hard CI gate.
+//!
+//! See [`rules`] for the rule set (D001–D003, S001–S002, U001), [`lexer`]
+//! for the token scanner that makes the checks comment/string-safe, and the
+//! `detlint` binary for the CLI.
+
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::LintReport;
+pub use rules::{classify, lint_source, FileClass, FileKind, Finding};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that contain first-party Rust code.
+/// `vendor/` (external API stand-ins) and `target/` are deliberately absent;
+/// fixture corpora are excluded by [`rules::classify`].
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Recursively collect `.rs` files under `dir`, sorted by name at every
+/// level so the scan order — and therefore the report — is deterministic.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root` and produce the report.
+///
+/// Findings are ordered by (file, line, rule); files the classifier skips
+/// (vendor stubs, fixtures) are not counted as scanned.
+pub fn lint_tree(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(&class, &src));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

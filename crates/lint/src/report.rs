@@ -1,0 +1,94 @@
+//! Machine report for `results/detlint.json`, written with a hand-rolled
+//! JSON emitter — the lint crate depends on nothing, including the vendored
+//! serde stubs, so the gate can never be broken by the code it gates.
+
+use crate::rules::{Finding, RULES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate result of a whole-tree scan.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Findings that fail the gate (not covered by a reasoned allow).
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// Per-rule counts of unallowed findings, every rule present.
+    pub fn summary(&self) -> BTreeMap<&'static str, usize> {
+        let mut m: BTreeMap<&'static str, usize> = RULES.iter().map(|&r| (r, 0)).collect();
+        for f in self.unallowed() {
+            if let Some(n) = m.get_mut(f.rule) {
+                *n += 1;
+            }
+        }
+        m
+    }
+
+    /// Render the JSON document. Key order and finding order are fixed, so
+    /// the artifact is byte-stable for a given tree.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"unallowed_findings\": {},", self.unallowed().count());
+        s.push_str("  \"summary\": {");
+        let summary = self.summary();
+        for (i, (rule, n)) in summary.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{rule}\": {n}");
+        }
+        s.push_str("},\n");
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                s,
+                "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"allowed\": {}, ",
+                f.rule,
+                escape(&f.file),
+                f.line,
+                f.allowed
+            );
+            match &f.reason {
+                Some(r) => {
+                    let _ = write!(s, "\"reason\": \"{}\", ", escape(r));
+                }
+                None => s.push_str("\"reason\": null, "),
+            }
+            let _ = write!(s, "\"message\": \"{}\"}}", escape(&f.message));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,6 @@
+// An allow-comment without a reason suppresses nothing and is itself a
+// finding (A000).
+pub fn lib_code(v: Option<u32>) -> u32 {
+    // detlint::allow(S001)
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+// False-positive corpus for D001: none of these may be flagged.
+// A comment that merely mentions a HashMap is not a finding.
+use itb_sim::{FxHashMap, FxHashSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build() -> usize {
+    let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+    m.insert(1, 2);
+    let s: FxHashSet<u32> = FxHashSet::default();
+    let b: BTreeMap<u32, u32> = BTreeMap::new();
+    let t: BTreeSet<u32> = BTreeSet::new();
+    let msg = "HashMap and HashSet in a string are fine";
+    let raw = r#"so is a raw-string "HashSet" mention"#;
+    m.len() + s.len() + b.len() + t.len() + msg.len() + raw.len()
+}

@@ -1,0 +1,10 @@
+// True positives for D001: default-hasher std collections.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    m.len() + s.len()
+}

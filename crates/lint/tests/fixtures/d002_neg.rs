@@ -1,0 +1,15 @@
+// False-positive corpus for D002.
+pub fn timing(now: u64) -> u64 {
+    // Instant and SystemTime in a comment are fine; so is an identifier
+    // that merely contains the word.
+    let instant = now;
+    let system_time_like = "Instant::now() in a string";
+    instant + system_time_like.len() as u64
+}
+
+// An annotated wall-clock section is allowed (reason given).
+pub fn wall_clock_ok() -> std::time::Duration {
+    // detlint::allow(D002, bench wall-clock measurement outside the sim clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,9 @@
+// True positives for D002: wall clock and OS randomness.
+use std::time::Instant;
+
+pub fn timing() -> u64 {
+    let t0 = Instant::now();
+    let _st = std::time::SystemTime::now();
+    let _r = rand::thread_rng();
+    t0.elapsed().as_nanos() as u64
+}

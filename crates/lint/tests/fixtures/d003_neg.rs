@@ -1,0 +1,15 @@
+// False-positive corpus for D003.
+use itb_sim::{SimDuration, SimTime};
+
+pub fn fine(gap_ns: f64, now: SimTime, d: SimDuration) -> (SimTime, SimDuration, f64, f64) {
+    // Integer construction is the normal path.
+    let t = SimTime::from_ps(1_000);
+    let dd = SimDuration::from_ns(15);
+    // The audited quantisation helper takes the float explicitly.
+    let q = SimDuration::from_ns_f64(gap_ns);
+    // Float readback for *reporting* (not recast to an integer) is fine.
+    let report = now.as_ns_f64();
+    let us = d.as_us_f64();
+    let _ = (dd, q);
+    (t, dd, report, us)
+}

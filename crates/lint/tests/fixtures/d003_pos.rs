@@ -1,0 +1,9 @@
+// True positives for D003: float arithmetic on event-time values.
+use itb_sim::{SimDuration, SimTime};
+
+pub fn hazards(gap_ns: f64, now: SimTime) -> (SimTime, SimDuration, u64) {
+    let t = SimTime::from_ps((gap_ns * 1e3) as u64);
+    let d = SimDuration::from_ns((gap_ns / 2.0) as u64);
+    let ns = now.as_ns_f64() as u64;
+    (t, d, ns)
+}

@@ -1,0 +1,25 @@
+// False-positive corpus for S001.
+pub fn lib_code(v: Option<u32>) -> u32 {
+    // Non-panicking relatives must not match.
+    let a = v.unwrap_or(0);
+    let b = v.unwrap_or_default();
+    // detlint::allow(S001, stated invariant: v checked non-empty by caller)
+    let c = v.unwrap();
+    let s = "calling .unwrap() in a string is fine";
+    let _ = s;
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("fine in tests"), 2);
+        if false {
+            panic!("also fine in tests");
+        }
+    }
+}

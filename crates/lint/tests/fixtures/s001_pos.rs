@@ -1,0 +1,9 @@
+// True positives for S001: panicking calls in library code.
+pub fn lib_code(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("should work");
+    if a + b == 0 {
+        panic!("boom");
+    }
+    a + b
+}

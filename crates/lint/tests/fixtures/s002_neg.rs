@@ -1,0 +1,20 @@
+// False-positive corpus for S002.
+use std::collections::BTreeMap as Tree;
+
+pub fn widening(x: u16, y: u32) -> (u64, usize, f64) {
+    // Widening and float casts are not narrowing.
+    let a = x as u64;
+    let b = y as usize;
+    let c = y as f64;
+    let _t: Tree<u8, u8> = Tree::new();
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_narrow() {
+        let big: u64 = 7;
+        assert_eq!(big as u16, 7u16);
+    }
+}

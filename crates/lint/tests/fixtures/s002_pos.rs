@@ -1,0 +1,7 @@
+// True positives for S002: narrowing casts in library code.
+pub fn narrowing(id: u64, seq: u64, port: usize) -> (u32, u16, u8) {
+    let a = id as u32;
+    let b = seq as u16;
+    let c = port as u8;
+    (a, b, c)
+}

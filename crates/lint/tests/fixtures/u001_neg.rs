@@ -1,0 +1,4 @@
+//! A compliant library crate root.
+#![deny(unsafe_code)]
+
+pub fn nothing() {}

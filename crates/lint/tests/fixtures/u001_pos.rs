@@ -1,0 +1,2 @@
+//! A library crate root that forgot to deny unsafe code.
+pub fn nothing() {}

@@ -1,0 +1,96 @@
+//! Scanner edge cases: everything that could fool a grep must not fool the
+//! lexer.
+
+use itb_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn comments_are_not_code() {
+    let src = "// HashMap here\n/* HashSet /* nested Instant */ still */ let x = 1;";
+    assert_eq!(idents(src), vec!["let", "x"]);
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert_eq!(lexed.comments[1].line, 2);
+}
+
+#[test]
+fn strings_are_not_code() {
+    let src = r####"let a = "HashMap \" still string"; let b = r#"raw "quote" HashSet"#; let c = b"bytes Instant";"####;
+    let ids = idents(src);
+    assert!(!ids.contains(&"HashMap".to_string()));
+    assert!(!ids.contains(&"HashSet".to_string()));
+    assert!(!ids.contains(&"Instant".to_string()));
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let q = '\\''; }";
+    let lexed = lex(src);
+    let lifetimes = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .count();
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .count();
+    assert_eq!(lifetimes, 2);
+    assert_eq!(chars, 3);
+}
+
+#[test]
+fn float_vs_integer_literals() {
+    let is = |src: &str, kind: TokKind| {
+        let toks = lex(src).tokens;
+        assert_eq!(toks.len(), 1, "{src}");
+        assert_eq!(toks[0].kind, kind, "{src}");
+    };
+    is("1.0", TokKind::Float);
+    is("1e3", TokKind::Float);
+    is("2.5e-7", TokKind::Float);
+    is("3f64", TokKind::Float);
+    is("42", TokKind::Int);
+    is("1_000u64", TokKind::Int);
+    is("0x1e3", TokKind::Int); // hex 'e' is a digit, not an exponent
+    is("0b1010", TokKind::Int);
+}
+
+#[test]
+fn method_call_on_int_is_not_a_float() {
+    let toks = lex("1.max(2)").tokens;
+    assert_eq!(toks[0].kind, TokKind::Int);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "max"));
+}
+
+#[test]
+fn line_numbers_survive_multiline_constructs() {
+    let src = "let a = \"two\nlines\";\nlet b = 1;";
+    let lexed = lex(src);
+    let b = lexed
+        .tokens
+        .iter()
+        .find(|t| t.text == "b")
+        .expect("ident b");
+    assert_eq!(b.line, 3);
+}
+
+#[test]
+fn raw_string_fences_respected() {
+    // The "# inside the raw string must not close it (fence is ##).
+    let src = "let s = r##\"contains \"# inner\"##; let after = 1;";
+    let ids = idents(src);
+    assert!(ids.contains(&"after".to_string()));
+    assert!(!ids.contains(&"inner".to_string()));
+}

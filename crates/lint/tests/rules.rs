@@ -1,0 +1,197 @@
+//! Fixture-based tests for the detlint rule set: every rule has at least
+//! one true-positive and one false-positive corpus, plus tests for the
+//! allow-comment contract (a reason is mandatory) and the classifier.
+
+use itb_lint::rules::{classify, lint_source, Finding};
+
+/// Lint a fixture file under a synthetic workspace-relative path (the path
+/// drives crate/kind classification, not where the fixture actually lives).
+fn lint_fixture(as_path: &str, fixture: &str) -> Vec<Finding> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/");
+    let src = std::fs::read_to_string(format!("{dir}{fixture}"))
+        .unwrap_or_else(|e| panic!("fixture {fixture}: {e}"));
+    let class = classify(as_path).unwrap_or_else(|| panic!("path {as_path} must classify"));
+    lint_source(&class, &src)
+}
+
+fn unallowed<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    fs.iter().filter(|f| f.rule == rule && !f.allowed).collect()
+}
+
+// ---- D001 ----------------------------------------------------------------
+
+#[test]
+fn d001_flags_default_hasher_maps() {
+    let fs = lint_fixture("crates/gm/src/code.rs", "d001_pos.rs");
+    let hits = unallowed(&fs, "D001");
+    assert_eq!(hits.len(), 4, "two use-decls + two body lines: {hits:?}");
+    assert!(hits.iter().any(|f| f.message.contains("HashMap")));
+    assert!(hits.iter().any(|f| f.message.contains("HashSet")));
+}
+
+#[test]
+fn d001_ignores_fx_btree_strings_and_comments() {
+    let fs = lint_fixture("crates/gm/src/code.rs", "d001_neg.rs");
+    assert!(unallowed(&fs, "D001").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d001_exempts_the_fxmap_wrapper_itself() {
+    let src = "use std::collections::HashMap;\npub type M = HashMap<u8, u8>;\n";
+    let class = classify("crates/sim/src/fxmap.rs").expect("classifies");
+    assert!(lint_source(&class, src).iter().all(|f| f.rule != "D001"));
+}
+
+// ---- D002 ----------------------------------------------------------------
+
+#[test]
+fn d002_flags_wall_clock_and_os_rng() {
+    let fs = lint_fixture("crates/nic/src/code.rs", "d002_pos.rs");
+    // `Instant` twice (use + now), SystemTime, thread_rng.
+    assert_eq!(unallowed(&fs, "D002").len(), 4, "{fs:?}");
+}
+
+#[test]
+fn d002_ignores_lookalikes_and_honours_allow() {
+    let fs = lint_fixture("crates/nic/src/code.rs", "d002_neg.rs");
+    assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
+    // The annotated wall-clock line must surface as an *allowed* finding
+    // with its reason attached (audit trail, not silence).
+    let allowed: Vec<_> = fs
+        .iter()
+        .filter(|f| f.rule == "D002" && f.allowed)
+        .collect();
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0]
+        .reason
+        .as_deref()
+        .is_some_and(|r| r.contains("bench wall-clock")));
+}
+
+// ---- D003 ----------------------------------------------------------------
+
+#[test]
+fn d003_flags_float_time_arithmetic() {
+    let fs = lint_fixture("crates/gm/src/code.rs", "d003_pos.rs");
+    // from_ps(float), from_ns(float), as_ns_f64 recast.
+    assert_eq!(unallowed(&fs, "D003").len(), 3, "{fs:?}");
+}
+
+#[test]
+fn d003_allows_integer_time_and_audited_helpers() {
+    let fs = lint_fixture("crates/gm/src/code.rs", "d003_neg.rs");
+    assert!(unallowed(&fs, "D003").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d003_only_applies_to_sim_side_crates() {
+    let fs = lint_fixture("crates/lint/src/code.rs", "d003_pos.rs");
+    assert!(
+        unallowed(&fs, "D003").is_empty(),
+        "lint crate is not sim-side"
+    );
+}
+
+// ---- S001 ----------------------------------------------------------------
+
+#[test]
+fn s001_flags_library_panics() {
+    let fs = lint_fixture("crates/net/src/code.rs", "s001_pos.rs");
+    let hits = unallowed(&fs, "S001");
+    assert_eq!(hits.len(), 3, "unwrap + expect + panic!: {hits:?}");
+}
+
+#[test]
+fn s001_ignores_nonpanicking_tests_and_reasoned_allows() {
+    let fs = lint_fixture("crates/net/src/code.rs", "s001_neg.rs");
+    assert!(unallowed(&fs, "S001").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn s001_does_not_apply_to_tests_bins_or_benches() {
+    for path in [
+        "crates/net/tests/e2e.rs",
+        "crates/bench/src/bin/tool.rs",
+        "crates/bench/benches/b.rs",
+        "examples/demo.rs",
+    ] {
+        let fs = lint_fixture(path, "s001_pos.rs");
+        assert!(unallowed(&fs, "S001").is_empty(), "{path}: {fs:?}");
+    }
+}
+
+// ---- S002 ----------------------------------------------------------------
+
+#[test]
+fn s002_flags_narrowing_casts() {
+    let fs = lint_fixture("crates/routing/src/code.rs", "s002_pos.rs");
+    assert_eq!(unallowed(&fs, "S002").len(), 3, "{fs:?}");
+}
+
+#[test]
+fn s002_ignores_widening_floats_and_test_code() {
+    let fs = lint_fixture("crates/routing/src/code.rs", "s002_neg.rs");
+    assert!(unallowed(&fs, "S002").is_empty(), "{fs:?}");
+}
+
+// ---- U001 ----------------------------------------------------------------
+
+#[test]
+fn u001_requires_deny_unsafe_in_crate_roots() {
+    let fs = lint_fixture("crates/topo/src/lib.rs", "u001_pos.rs");
+    assert_eq!(unallowed(&fs, "U001").len(), 1, "{fs:?}");
+}
+
+#[test]
+fn u001_satisfied_by_deny_attribute() {
+    let fs = lint_fixture("crates/topo/src/lib.rs", "u001_neg.rs");
+    assert!(unallowed(&fs, "U001").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn u001_only_checks_crate_roots() {
+    let fs = lint_fixture("crates/topo/src/graph.rs", "u001_pos.rs");
+    assert!(unallowed(&fs, "U001").is_empty(), "non-root file: {fs:?}");
+}
+
+// ---- allow-comment contract ---------------------------------------------
+
+#[test]
+fn allow_without_reason_is_a_finding_and_suppresses_nothing() {
+    let fs = lint_fixture("crates/net/src/code.rs", "allow_no_reason.rs");
+    assert_eq!(unallowed(&fs, "A000").len(), 1, "{fs:?}");
+    assert_eq!(
+        unallowed(&fs, "S001").len(),
+        1,
+        "reasonless allow must not suppress the unwrap: {fs:?}"
+    );
+}
+
+#[test]
+fn allow_with_unknown_rule_is_a_finding() {
+    let src = "// detlint::allow(D999, not a real rule)\npub fn f() {}\n";
+    let class = classify("crates/net/src/code.rs").expect("classifies");
+    let fs = lint_source(&class, src);
+    assert_eq!(unallowed(&fs, "A000").len(), 1, "{fs:?}");
+}
+
+// ---- classifier ----------------------------------------------------------
+
+#[test]
+fn classifier_scopes_and_skips() {
+    assert!(
+        classify("vendor/rand/src/lib.rs").is_none(),
+        "vendor skipped"
+    );
+    assert!(
+        classify("crates/lint/tests/fixtures/d001_pos.rs").is_none(),
+        "fixtures skipped"
+    );
+    assert!(classify("crates/sim/src/engine.rs").is_some());
+    let root = classify("tests/testbed.rs").expect("root package tests");
+    assert_eq!(root.krate, "itb-myrinet");
+    assert_eq!(
+        classify("crates/bench/src/bin/fig7.rs").map(|c| c.krate),
+        Some("bench".to_string())
+    );
+}

@@ -24,6 +24,7 @@
 //! type.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod config;
 pub mod fault;

@@ -11,7 +11,7 @@ use crate::slab::IdSlab;
 use crate::stats::NetStats;
 use itb_obs::{LinkLoad, PacketTracer, Stage};
 use itb_sim::stats::Accum;
-use itb_sim::{SimDuration, SimRng, SimTime};
+use itb_sim::{narrow, SimDuration, SimRng, SimTime};
 use itb_topo::{HostId, Node, PortIx, SwitchId, Topology};
 use std::collections::VecDeque;
 
@@ -274,10 +274,10 @@ impl Network {
         let mut host_rx: Vec<Option<u32>> = vec![None; topo.num_hosts()];
         for (ci, c) in chans.iter().enumerate() {
             match c.sink {
-                ChanSink::HostRx(h) => host_rx[h.idx()] = Some(ci as u32),
+                ChanSink::HostRx(h) => host_rx[h.idx()] = Some(narrow(ci)),
                 ChanSink::SwitchIn { sw, port } => {
                     inputs[sw.idx()][port.idx()] = Some(InputPort {
-                        in_chan: ci as u32,
+                        in_chan: narrow(ci),
                         occupancy: 0,
                         stopped: false,
                         route_pending: false,
@@ -287,16 +287,18 @@ impl Network {
             }
             match c.source {
                 ChanSource::SwitchOut { sw, port } => {
-                    out_chan[sw.idx()][port.idx()] = Some(ci as u32);
+                    out_chan[sw.idx()][port.idx()] = Some(narrow(ci));
                 }
-                ChanSource::HostTx(h) => host_tx[h.idx()] = Some(ci as u32),
+                ChanSource::HostTx(h) => host_tx[h.idx()] = Some(narrow(ci)),
             }
         }
         let hosts = host_tx
             .into_iter()
             .zip(host_rx)
             .map(|(tx, rx)| HostPort {
+                // detlint::allow(S001, build wires a channel pair for every host port)
                 tx_chan: tx.expect("every host is wired"),
+                // detlint::allow(S001, build wires a channel pair for every host port)
                 rx_chan: rx.expect("every host is wired"),
                 tx_queue: VecDeque::new(),
                 rx_current: None,
@@ -366,6 +368,7 @@ impl Network {
             return;
         }
         let roll = f.rng.f64();
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let pkt = self.packets.get_mut(id.0).expect("packet exists");
         if roll < drop_p {
             if !pkt.corrupted {
@@ -394,6 +397,7 @@ impl Network {
         if !hit {
             return;
         }
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let pkt = self.packets.get_mut(id.0).expect("packet exists");
         if !pkt.corrupted {
             pkt.corrupted = true;
@@ -475,6 +479,7 @@ impl Network {
 
     /// Inspect an in-flight packet (panics on unknown id).
     pub fn packet(&self, id: PacketId) -> &PacketState {
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         self.packets.get(id.0).expect("packet exists")
     }
 
@@ -483,6 +488,7 @@ impl Network {
     pub fn packet_type(&self, id: PacketId) -> Option<u16> {
         self.packets
             .get(id.0)
+            // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
             .expect("packet exists")
             .desc
             .header
@@ -492,6 +498,7 @@ impl Network {
     /// Strip the `ITB | Length` group from a packet parked at an in-transit
     /// NIC (the MCP does this before reprogramming the send DMA).
     pub fn strip_itb_group(&mut self, id: PacketId) -> u8 {
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let p = self.packets.get_mut(id.0).expect("packet exists");
         p.itb_hops += 1;
         p.desc.header.strip_itb_group()
@@ -500,6 +507,7 @@ impl Network {
     /// Remove a fully delivered packet from the registry, returning its
     /// final state (header should start with the GM type).
     pub fn retire(&mut self, id: PacketId) -> PacketState {
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let st = self.packets.remove(id.0).expect("packet exists");
         if self.cfg.record_timelines {
             self.retired_timelines.push((id, st.timeline.clone()));
@@ -614,6 +622,7 @@ impl Network {
         now: SimTime,
         sched: &mut impl NetSched,
     ) {
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let total = self.packets.get(id.0).expect("packet exists").wire_len();
         self.note(id, "reinject", u32::from(host.0), now);
         self.trace(id, Stage::NetReinject, u32::from(host.0), now);
@@ -699,6 +708,7 @@ impl Network {
                 };
                 let inp = self.inputs[sw.idx()][in_port.idx()]
                     .as_mut()
+                    // detlint::allow(S001, arbitration granted this input so it is occupied)
                     .expect("granted input exists");
                 let Some(front) = inp.queue.front_mut() else {
                     return;
@@ -766,6 +776,7 @@ impl Network {
             match c.source {
                 ChanSource::HostTx(h) => {
                     let hp = &mut self.hosts[h.idx()];
+                    // detlint::allow(S001, tx-finish events fire only while a packet is in the queue)
                     let done = hp.tx_queue.pop_front().expect("finishing implies a packet");
                     debug_assert_eq!(done.sent, done.total);
                     self.indications.push(HostIndication::InjectionComplete {
@@ -809,10 +820,12 @@ impl Network {
     fn assign_grant(&mut self, ch: u32, sw: SwitchId, in_port: PortIx, now: SimTime) {
         let inp = self.inputs[sw.idx()][in_port.idx()]
             .as_mut()
+            // detlint::allow(S001, the waiting list only holds occupied inputs)
             .expect("waiting input exists");
         let front = inp
             .queue
             .front_mut()
+            // detlint::allow(S001, a requesting input always has a queued front packet)
             .expect("requesting input has a front packet");
         debug_assert!(front.routed && !front.granted);
         front.granted = true;
@@ -842,6 +855,7 @@ impl Network {
                 let cfg_stop = self.cfg.stop_threshold;
                 let inp = self.inputs[sw.idx()][port.idx()]
                     .as_mut()
+                    // detlint::allow(S001, flits only travel over cabled ports)
                     .expect("flit arrives at a cabled port");
                 if head {
                     inp.queue.push_back(InPkt {
@@ -860,6 +874,7 @@ impl Network {
                     .iter_mut()
                     .rev()
                     .find(|p| p.id == packet)
+                    // detlint::allow(S001, an in-flight flit always belongs to a queued packet)
                     .expect("flit belongs to a queued packet");
                 pkt.received += bytes;
                 if tail {
@@ -885,7 +900,9 @@ impl Network {
                 } else if is_front && routed && granted {
                     // Body bytes for the worm being forwarded: kick the
                     // output serializer in case it idled out of bytes.
+                    // detlint::allow(S001, the route step just set the out port)
                     let out = self.out_chan[sw.idx()][out_port.expect("routed has out port").idx()]
+                        // detlint::allow(S001, routing only selects cabled ports)
                         .expect("routed to a cabled port");
                     self.try_send(out, now, sched);
                 }
@@ -900,6 +917,7 @@ impl Network {
                             received: 0,
                         });
                     }
+                    // detlint::allow(S001, rx events fire only during an active reception)
                     let rx = hp.rx_current.as_mut().expect("rx in progress");
                     debug_assert_eq!(rx.id, packet);
                     rx.received += bytes;
@@ -946,6 +964,7 @@ impl Network {
     ) {
         let inp = self.inputs[sw.idx()][port.idx()]
             .as_ref()
+            // detlint::allow(S001, events only reference ports that exist on the switch)
             .expect("port exists");
         let Some(front) = inp.queue.front() else {
             return;
@@ -958,17 +977,20 @@ impl Network {
         let hdr = &self
             .packets
             .get(front.id.0)
+            // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
             .expect("packet exists")
             .desc
             .header;
         let out_port = itb_routing::wire::decode_route_byte(hdr.as_bytes()[0])
+            // detlint::allow(S001, headers are stripped hop by hop so a route byte leads at a switch)
             .expect("packet at a switch must lead with a route byte");
         let kin = self.topo.switch_port_kind(sw, port);
         let kout = self.topo.switch_port_kind(sw, out_port);
         let delay = self.cfg.fall_through.delay(kin, kout);
         self.inputs[sw.idx()][port.idx()]
             .as_mut()
-            .unwrap()
+            // detlint::allow(S001, the input was occupied when the fall-through was scheduled)
+            .expect("input occupied")
             .route_pending = true;
         sched.at(now + delay, NetEvent::RouteReady { sw, port });
     }
@@ -982,8 +1004,10 @@ impl Network {
     ) {
         let inp = self.inputs[sw.idx()][port.idx()]
             .as_mut()
+            // detlint::allow(S001, events only reference ports that exist on the switch)
             .expect("port exists");
         inp.route_pending = false;
+        // detlint::allow(S001, routing services only queued packets)
         let front = inp.queue.front_mut().expect("routing a queued packet");
         let id = front.id;
         debug_assert!(!front.routed);
@@ -992,14 +1016,23 @@ impl Network {
         front.received -= 1;
         inp.occupancy -= 1;
         front.routed = true;
+        // detlint::allow(S001, packet ids stay live in the slab until delivery removes them)
         let pkt = self.packets.get_mut(id.0).expect("packet exists");
         let out_port = pkt.desc.header.consume_route_byte();
         pkt.route_bytes_consumed += 1;
-        let inp = self.inputs[sw.idx()][port.idx()].as_mut().unwrap();
-        inp.queue.front_mut().unwrap().out_port = Some(out_port);
+        let inp = self.inputs[sw.idx()][port.idx()]
+            .as_mut()
+            // detlint::allow(S001, the input was occupied at route-ready time)
+            .expect("input occupied");
+        inp.queue
+            .front_mut()
+            // detlint::allow(S001, the front packet was just routed under the same borrow)
+            .expect("queued packet present")
+            .out_port = Some(out_port);
         self.note(id, "route", u32::from(sw.0), now);
         self.trace(id, Stage::NetRoute, u32::from(sw.0), now);
         let out = self.out_chan[sw.idx()][out_port.idx()]
+            // detlint::allow(S001, a route byte naming an unwired port is a table bug worth aborting on)
             .unwrap_or_else(|| panic!("route byte names unwired port {out_port} at {sw}"));
         let c = &mut self.chans[out as usize];
         if c.grant.is_none() && !c.finishing {
@@ -1076,8 +1109,8 @@ impl Network {
                     link: format!("{}-{}", name(link.a.node), name(link.b.node)),
                     fwd_bytes: fwd.bytes_sent,
                     rev_bytes: rev.bytes_sent,
-                    fwd_blocked_ns: fwd.paused_total.as_ns_f64() as u64,
-                    rev_blocked_ns: rev.paused_total.as_ns_f64() as u64,
+                    fwd_blocked_ns: fwd.paused_total.as_ps() / 1_000,
+                    rev_blocked_ns: rev.paused_total.as_ps() / 1_000,
                 }
             })
             .collect()

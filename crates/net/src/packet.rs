@@ -1,7 +1,7 @@
 //! In-flight packet bookkeeping.
 
 use itb_routing::wire::Header;
-use itb_sim::SimTime;
+use itb_sim::{narrow, SimTime};
 use itb_topo::HostId;
 use serde::{Deserialize, Serialize};
 
@@ -63,7 +63,7 @@ impl PacketState {
     /// Bytes currently remaining on the wire for a fresh traversal stage:
     /// current header + payload + CRC byte.
     pub fn wire_len(&self) -> u32 {
-        self.desc.header.len() as u32 + self.desc.payload_len + 1
+        narrow::<u32, _>(self.desc.header.len()) + self.desc.payload_len + 1
     }
 }
 

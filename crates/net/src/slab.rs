@@ -62,6 +62,10 @@ impl<T> Default for IdSlab<T> {
     }
 }
 
+// Window offsets `(id - base) as usize` are bounded by the live window
+// length (slots.len()), which always fits in memory, so the casts cannot
+// truncate in practice; lookups bound-check against the deque anyway.
+#[allow(clippy::cast_possible_truncation)]
 impl<T> IdSlab<T> {
     /// Index of `id` within the window, growing the window if `id` is past
     /// its end. Panics if `id` predates the window (an id is only below

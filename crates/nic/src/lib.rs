@@ -25,6 +25,7 @@
 //! from the cycle prices in [`timing::McpTiming`]; see DESIGN.md §5.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod dma;
 pub mod events;

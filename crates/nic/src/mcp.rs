@@ -26,7 +26,7 @@ use crate::timing::McpTiming;
 use itb_net::{HostIndication, NetSched, Network, PacketDesc, PacketId};
 use itb_obs::Stage;
 use itb_routing::wire::{TYPE_GM, TYPE_ITB};
-use itb_sim::{FxHashMap, SimTime};
+use itb_sim::{narrow, FxHashMap, SimTime};
 use itb_topo::HostId;
 use std::collections::VecDeque;
 
@@ -217,7 +217,7 @@ impl Nic {
     ) where
         S: NicSched + NetSched,
     {
-        let wire_len = desc.header.len() as u32 + desc.payload_len + 1;
+        let wire_len = narrow::<u32, _>(desc.header.len()) + desc.payload_len + 1;
         let packet = net.allocate_packet_id();
         net.trace(packet, Stage::HostInject, u32::from(self.host.0), now);
         self.send_queue.push_back(SendJob {
@@ -481,6 +481,7 @@ impl Nic {
                     "ITB packet reached an original-MCP NIC"
                 );
                 let complete = {
+                    // detlint::allow(S001, admission inserts the recv state before any event references it)
                     let st = self.recv.get_mut(&packet.0).expect("admitted packet");
                     st.kind = RecvKind::Normal;
                     st.complete
@@ -598,6 +599,7 @@ impl Nic {
             .iter()
             .position(|j| j.staging && j.desc.is_none())
         {
+            // detlint::allow(S001, pos was found by position in this queue)
             let job = self.send_queue.remove(pos).expect("position valid");
             self.send_buffers_free += 1;
             self.outputs.push(NicOutput::SendComplete {
@@ -773,6 +775,7 @@ impl Nic {
                 let Some(job) = self.send_queue.iter_mut().find(|j| j.token == token) else {
                     return;
                 };
+                // detlint::allow(S001, descriptors are programmed exactly once before send)
                 let desc = job.desc.take().expect("programmed once");
                 let wire = job.wire_len;
                 let id = job.packet;
@@ -811,6 +814,7 @@ impl Nic {
                 net.note(packet, "nic.deliver", u32::from(self.host.0), now);
                 net.trace(packet, Stage::NicDeliver, u32::from(self.host.0), now);
                 // Hand the message up and recycle the buffer.
+                // detlint::allow(S001, delivery events fire only for admitted packets)
                 let st = self.recv.remove(&packet.0).expect("delivering a packet");
                 self.on_buffer_freed(now, net, sched);
                 let ps = net.retire(packet);

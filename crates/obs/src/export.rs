@@ -121,6 +121,7 @@ pub fn attribute(packet_spans: &[Span]) -> Vec<(Attribution, f64)> {
         let slot = Attribution::ALL
             .iter()
             .position(|&a| a == cat)
+            // detlint::allow(S001, every event category is listed in ALL)
             .expect("category in ALL");
         totals[slot] += s.ns;
     }
@@ -141,6 +142,7 @@ pub fn to_jsonl(tracer: &PacketTracer) -> String {
             ("node".to_string(), Value::UInt(u64::from(e.node))),
             ("t_ns".to_string(), Value::Float(e.t.as_ns_f64())),
         ]);
+        // detlint::allow(S001, event records serialize by construction)
         out.push_str(&serde_json::to_string(&v).expect("jsonl event serializes"));
         out.push('\n');
     }
@@ -188,6 +190,7 @@ pub fn to_chrome_trace(tracer: &PacketTracer) -> String {
         ("traceEvents".to_string(), Value::Array(events)),
         ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
     ]);
+    // detlint::allow(S001, the chrome trace document serializes by construction)
     serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
 }
 

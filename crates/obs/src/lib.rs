@@ -18,6 +18,7 @@
 //!   latency into injection / wormhole transit / ITB-hop / delivery.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod export;
 pub mod metrics;

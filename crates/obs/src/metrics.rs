@@ -148,6 +148,7 @@ impl Snapshot {
     /// Render as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            // detlint::allow(S001, snapshot types always serialize; a failure is a programming error)
             panic!("snapshot serialization cannot fail: {e}");
         })
     }

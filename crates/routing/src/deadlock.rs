@@ -55,6 +55,7 @@ impl ChannelDepGraph {
                 for hop in &seg.hops {
                     let link = topo
                         .link_at(hop.switch, hop.out_port)
+                        // detlint::allow(S001, routes produced by the planner use cabled ports)
                         .expect("route uses cabled ports");
                     chain.push(directed_from_port(
                         topo,
@@ -109,7 +110,11 @@ impl ChannelDepGraph {
                         }
                         Mark::Grey => {
                             // Cycle: slice of path from w onward.
-                            let pos = path.iter().position(|&x| x == w).unwrap();
+                            let pos = path
+                                .iter()
+                                .position(|&x| x == w)
+                                // detlint::allow(S001, w was drawn from path so position finds it)
+                                .expect("w drawn from path");
                             return Some(path[pos..].to_vec());
                         }
                         Mark::Black => {}

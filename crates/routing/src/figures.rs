@@ -236,7 +236,7 @@ mod tests {
         // would block on itself.
         let tb = fig6_testbed();
         let r = fig8_ud_route(&tb);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = itb_sim::FxHashSet::default();
         for seg in &r.segments {
             for hop in &seg.hops {
                 let link = tb.topo.link_at(hop.switch, hop.out_port).unwrap();

@@ -26,6 +26,7 @@
 //!   Figures 7 and 8.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod deadlock;
 pub mod figures;

@@ -6,7 +6,7 @@ use crate::path::SourceRoute;
 use crate::table::RouteTable;
 use itb_topo::{Node, SwitchId, Topology, UpDown};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate statistics over an all-pairs route set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,8 +40,10 @@ pub fn analyze(topo: &Topology, ud: &UpDown, table: &RouteTable) -> RouteSetMetr
     let mut root_crossing = 0usize;
     let mut minimal = 0usize;
     let mut n = 0usize;
-    // Channel load: (link, direction) -> count.
-    let mut load: HashMap<(u32, bool), u64> = HashMap::new();
+    // Channel load: (link, direction) -> count. Ordered map: aggregation
+    // below is order-independent today, but a BTreeMap keeps any future
+    // per-channel reporting deterministic by construction (detlint D001).
+    let mut load: BTreeMap<(u32, bool), u64> = BTreeMap::new();
 
     // Cache of min distances per (src switch, dst switch) is overkill here;
     // recompute per route via BFS once per source host instead.
@@ -55,13 +57,17 @@ pub fn analyze(topo: &Topology, ud: &UpDown, table: &RouteTable) -> RouteSetMetr
             root_crossing += 1;
         }
         let min =
+            // detlint::allow(S001, figure routes connect distinct hosts)
             crate::updown::min_crossings(topo, route.src, route.dst).expect("distinct hosts") - 1;
         if links == min {
             minimal += 1;
         }
         for seg in &route.segments {
             for hop in &seg.hops[..seg.hops.len() - 1] {
-                let link = topo.link_at(hop.switch, hop.out_port).unwrap();
+                let link = topo
+                    .link_at(hop.switch, hop.out_port)
+                    // detlint::allow(S001, route hops only traverse cabled ports)
+                    .expect("hop uses a cabled port");
                 let l = topo.link(link);
                 let a_to_b = l.a.node == Node::Switch(hop.switch) && l.a.port == hop.out_port;
                 *load.entry((link.0, a_to_b)).or_default() += 1;

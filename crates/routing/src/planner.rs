@@ -15,6 +15,7 @@
 //! the planned route is never longer than the up\*/down\* one.
 
 use crate::path::{Hop, Segment, SourceRoute};
+use itb_sim::narrow;
 use itb_topo::updown::Direction;
 use itb_topo::{HostId, PortIx, SwitchId, Topology, UpDown};
 use std::cmp::Reverse;
@@ -143,7 +144,7 @@ impl ItbPlanner {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         let mut seq = 0u64;
         let unpack = |state: usize| {
-            let s = SwitchId((state / 3) as u16);
+            let s = SwitchId(narrow(state / 3));
             let d = match state % 3 {
                 0 => Dir::Start,
                 1 => Dir::Up,
@@ -175,7 +176,7 @@ impl ItbPlanner {
                 if !ok {
                     continue;
                 }
-                let ncost = (cost.0 + 1, cost.1 + needs_itb as u32);
+                let ncost = (cost.0 + 1, cost.1 + u32::from(needs_itb));
                 let nstate = idx(nbr, Dir::after(dir));
                 if ncost < best[nstate] {
                     best[nstate] = ncost;

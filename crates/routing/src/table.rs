@@ -3,6 +3,7 @@
 use crate::path::SourceRoute;
 use crate::planner::{ItbHostSelection, ItbPlanner, PlannerError};
 use crate::updown::shortest_updown;
+use itb_sim::narrow;
 use itb_topo::{HostId, Topology, UpDown};
 use serde::{Deserialize, Serialize};
 
@@ -47,9 +48,9 @@ impl RouteTable {
         let n = topo.num_hosts();
         let mut planner = ItbPlanner::new(selection);
         let mut routes = Vec::with_capacity(n);
-        for s in 0..n as u16 {
+        for s in 0..narrow::<u16, _>(n) {
             let mut row = Vec::with_capacity(n);
-            for d in 0..n as u16 {
+            for d in 0..narrow::<u16, _>(n) {
                 if s == d {
                     row.push(None);
                     continue;

@@ -14,6 +14,7 @@
 //! which again starts with route bytes, exactly what the next switch needs.
 
 use crate::path::SourceRoute;
+use itb_sim::narrow;
 use itb_topo::PortIx;
 
 /// Two-byte packet type of an ordinary GM message.
@@ -122,7 +123,7 @@ impl Header {
             buf[..bytes.len()].copy_from_slice(bytes);
             Repr::Inline {
                 start: 0,
-                len: bytes.len() as u8,
+                len: narrow(bytes.len()),
                 buf,
             }
         } else {
@@ -140,7 +141,7 @@ impl Header {
     fn advance(&mut self, n: usize) {
         debug_assert!(n <= self.len());
         match &mut self.repr {
-            Repr::Inline { start, .. } => *start += n as u8,
+            Repr::Inline { start, .. } => *start += narrow::<u8, _>(n),
             Repr::Heap { start, .. } => *start += n,
         }
     }
@@ -175,7 +176,7 @@ impl Header {
             }
             if i > 0 {
                 // Prefix the ITB tag + remaining-length for this segment.
-                let remaining = (group.len() + tail.len()) as u8;
+                let remaining: u8 = narrow(group.len() + tail.len());
                 let mut pre = TYPE_ITB.to_be_bytes().to_vec();
                 pre.push(remaining);
                 pre.extend(group);
@@ -222,6 +223,7 @@ impl Header {
     /// has already arrived is a model bug).
     pub fn consume_route_byte(&mut self) -> PortIx {
         let b = self.as_bytes()[0];
+        // detlint::allow(S001, encode_route writes only route bytes; checked by round-trip tests)
         let port = decode_route_byte(b).expect("leading byte must be a route byte");
         self.advance(1);
         port

@@ -29,6 +29,7 @@ pub fn run_until<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, unti
         if t > until {
             break;
         }
+        // detlint::allow(S001, pop follows a successful peek under the same borrow)
         let (now, ev) = queue.pop().expect("peeked entry vanished");
         world.handle(now, ev, queue);
         dispatched += 1;

@@ -21,6 +21,7 @@
 //!   reproducibility does not depend on the `rand` crate's internals.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod engine;
 pub mod fxmap;
@@ -35,3 +36,47 @@ pub use fxmap::{FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};
+
+/// Checked narrowing conversion for ids, ports, sequence numbers and counts.
+///
+/// `x as u16` silently wraps out-of-range values — on a packet id or a
+/// sequence number that is a correctness bug that manifests as a *different
+/// simulation*, not a crash. This helper is the sanctioned spelling: it
+/// panics loudly (with the offending value and the caller's location) the
+/// moment an invariant is wrong instead of simulating on garbage. detlint
+/// rule S002 points here.
+#[track_caller]
+#[inline]
+pub fn narrow<Dst, Src>(v: Src) -> Dst
+where
+    Dst: TryFrom<Src>,
+    Src: Copy + std::fmt::Display,
+{
+    match Dst::try_from(v) {
+        Ok(d) => d,
+        // detlint::allow(S001, the audited failure point every narrow() call site shares)
+        Err(_) => panic!(
+            "narrowing conversion out of range: {v} does not fit in {}",
+            std::any::type_name::<Dst>()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod narrow_tests {
+    use super::narrow;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        let p: u8 = narrow(255u64);
+        let h: u16 = narrow(1024usize);
+        assert_eq!(p, 255);
+        assert_eq!(h, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrowing conversion out of range")]
+    fn out_of_range_panics_loudly() {
+        let _: u8 = narrow(256u64);
+    }
+}

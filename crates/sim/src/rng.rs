@@ -95,6 +95,8 @@ impl SimRng {
     }
 
     /// Fisher–Yates shuffle.
+    // below(i + 1) returns a value in [0, i], which always fits back in usize.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
             let j = self.below(i as u64 + 1) as usize;
@@ -103,6 +105,8 @@ impl SimRng {
     }
 
     /// Pick a uniformly random element.
+    // below(len) is a valid index by definition.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
         if slice.is_empty() {
             None
@@ -114,7 +118,7 @@ impl SimRng {
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
-        (self.next_u64_raw() >> 32) as u32
+        crate::narrow(self.next_u64_raw() >> 32)
     }
     fn next_u64(&mut self) -> u64 {
         self.next_u64_raw()

@@ -47,6 +47,9 @@ impl Accum {
     }
 
     /// Log-histogram bucket index for a sample.
+    // The floor()ed index is clamped into [0, ACCUM_BUCKETS) before the
+    // final cast, so neither conversion can truncate meaningfully.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     fn bucket_of(x: f64) -> usize {
         if x.is_nan() || x < 1.0 {
             // Sub-unit, zero, negative and NaN samples all land in bucket 0;
@@ -121,6 +124,8 @@ impl Accum {
     /// Approximate quantile (`q` in `[0, 1]`) from the log-linear histogram:
     /// geometric bucket midpoints, ~±9% relative error, clamped to the exact
     /// observed `[min, max]`. NaN if empty.
+    // ceil(q * n) with q in [0, 1] stays within the sample count.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.n == 0 {
@@ -223,6 +228,8 @@ impl Histogram {
     }
 
     /// Record a sample.
+    // The bucket index is range-checked against bins.len() right after the cast.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn add(&mut self, x: f64) {
         self.total += 1;
         if x < self.lo {
@@ -247,6 +254,8 @@ impl Histogram {
     }
 
     /// Approximate quantile (`q` in `[0,1]`) from bin midpoints.
+    // ceil(q * total) with q in [0, 1] stays within the sample count.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.total == 0 {
@@ -359,12 +368,15 @@ impl P2Quantile {
     }
 
     /// Record a sample.
+    // count is capped at 5 before any cast to an index.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn add(&mut self, x: f64) {
         if self.count < 5 {
             self.heights[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
                 self.heights
+                    // detlint::allow(S001, latency samples come from integer picoseconds and are never NaN)
                     .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             }
             return;
@@ -380,6 +392,7 @@ impl P2Quantile {
         } else {
             (1..=4)
                 .find(|&i| x < self.heights[i])
+                // detlint::allow(S001, binary search keeps x between the recorded extremes)
                 .expect("x within extremes")
                 - 1
         };
@@ -426,11 +439,14 @@ impl P2Quantile {
     }
 
     /// The current quantile estimate (exact for < 5 samples; NaN if empty).
+    // n < 5 in the small-sample arm, so every cast is a tiny index.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn estimate(&self) -> f64 {
         match self.count {
             0 => f64::NAN,
             n if n < 5 => {
                 let mut v: Vec<f64> = self.heights[..n as usize].to_vec();
+                // detlint::allow(S001, latency samples come from integer picoseconds and are never NaN)
                 v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let ix = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize) - 1;
                 v[ix]

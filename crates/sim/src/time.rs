@@ -110,6 +110,28 @@ impl SimDuration {
         SimDuration(ms * 1_000_000_000)
     }
 
+    /// Quantise a real-valued nanosecond span onto the integer clock.
+    ///
+    /// This is the *only* sanctioned crossing from the float domain into
+    /// simulated time (detlint rule D003): traffic generators draw
+    /// real-valued gaps (e.g. exponential inter-arrival samples) and must
+    /// round exactly once, here, truncating toward zero. Negative or NaN
+    /// inputs saturate to zero per Rust's float→int cast semantics.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        SimDuration((ns * 1e3) as u64)
+    }
+
+    /// Quantise a real-valued microsecond span onto the integer clock.
+    ///
+    /// See [`SimDuration::from_ns_f64`]; same single-quantisation contract.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn from_us_f64(us: f64) -> Self {
+        SimDuration((us * 1e6) as u64)
+    }
+
     /// Raw picosecond count.
     #[inline]
     pub const fn as_ps(self) -> u64 {
@@ -327,6 +349,16 @@ mod tests {
         // 4 KB page at PCI burst rate ≈ 15.5 us.
         let t = pci.transfer_time(4096);
         assert!((t.as_us_f64() - 15.51).abs() < 0.1, "{t}");
+    }
+
+    #[test]
+    fn float_quantisation_truncates_once() {
+        assert_eq!(SimDuration::from_ns_f64(1.75).as_ps(), 1_750);
+        assert_eq!(SimDuration::from_ns_f64(0.0004).as_ps(), 0);
+        assert_eq!(SimDuration::from_us_f64(1.5).as_ps(), 1_500_000);
+        // Saturating float→int casts: negatives and NaN clamp to zero.
+        assert_eq!(SimDuration::from_ns_f64(-3.0).as_ps(), 0);
+        assert_eq!(SimDuration::from_ns_f64(f64::NAN).as_ps(), 0);
     }
 
     #[test]

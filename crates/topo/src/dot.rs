@@ -36,7 +36,7 @@ fn name(n: Node) -> String {
 /// Render the topology with a set of links highlighted (e.g. the links a
 /// route traverses), for visual debugging of route computations.
 pub fn to_dot_highlighted(topo: &Topology, highlight: &[crate::LinkId]) -> String {
-    let hot: std::collections::HashSet<u32> = highlight.iter().map(|l| l.0).collect();
+    let hot: itb_sim::FxHashSet<u32> = highlight.iter().map(|l| l.0).collect();
     let mut out = String::from("graph cluster {\n  overlap=false;\n");
     for s in topo.switch_ids() {
         out.push_str(&format!("  \"{s}\" [shape=box];\n"));

@@ -1,7 +1,7 @@
 //! The wiring graph: switches, hosts, links.
 
 use crate::ids::{HostId, LinkId, Node, PortIx, PortKind, SwitchId};
-use itb_sim::SimDuration;
+use itb_sim::{narrow, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// One end of a link: a node and the port it plugs into.
@@ -52,6 +52,7 @@ impl Link {
         } else if self.b.node == node {
             self.a
         } else {
+            // detlint::allow(S001, callers pass a node known to be on the link; a mismatch is a bug)
             panic!("node {node} not on link {self:?}");
         }
     }
@@ -143,7 +144,7 @@ impl Topology {
     /// Add a switch whose ports have the given kinds (index = port number).
     /// The M2FM-SW8 of the testbed is 4 SAN + 4 LAN ports.
     pub fn add_switch(&mut self, port_kinds: Vec<PortKind>) -> SwitchId {
-        let id = SwitchId(self.switches.len() as u16);
+        let id = SwitchId(narrow(self.switches.len()));
         self.switches.push(SwitchInfo {
             port_links: vec![None; port_kinds.len()],
             port_kinds,
@@ -159,7 +160,7 @@ impl Topology {
     /// Add a host with the given NIC kind. Wire it with
     /// [`Topology::connect_host`].
     pub fn add_host(&mut self, nic_kind: PortKind) -> HostId {
-        let id = HostId(self.hosts.len() as u16);
+        let id = HostId(narrow(self.hosts.len()));
         self.hosts.push(HostInfo {
             nic_kind,
             link: None,
@@ -168,6 +169,7 @@ impl Topology {
     }
 
     fn claim_switch_port(&mut self, ep: Endpoint, link: LinkId) -> Result<(), TopologyError> {
+        // detlint::allow(S001, claim_switch_port is only called with switch endpoints)
         let s = ep.node.as_switch().expect("switch endpoint");
         let info = &mut self.switches[s.idx()];
         let slot = info
@@ -190,7 +192,7 @@ impl Topology {
         b_port: u8,
         propagation: SimDuration,
     ) -> Result<LinkId, TopologyError> {
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(narrow(self.links.len()));
         let ea = Endpoint::switch(a, a_port);
         let eb = Endpoint::switch(b, b_port);
         self.claim_switch_port(ea, id)?;
@@ -217,7 +219,7 @@ impl Topology {
         if self.hosts[h.idx()].link.is_some() {
             return Err(TopologyError::HostAlreadyWired(h));
         }
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(narrow(self.links.len()));
         let es = Endpoint::switch(s, s_port);
         self.claim_switch_port(es, id)?;
         self.hosts[h.idx()].link = Some(id);
@@ -244,15 +246,15 @@ impl Topology {
 
     /// All switch ids.
     pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
-        (0..self.switches.len() as u16).map(SwitchId)
+        (0..narrow::<u16, _>(self.switches.len())).map(SwitchId)
     }
     /// All host ids.
     pub fn host_ids(&self) -> impl Iterator<Item = HostId> {
-        (0..self.hosts.len() as u16).map(HostId)
+        (0..narrow::<u16, _>(self.hosts.len())).map(HostId)
     }
     /// All link ids.
     pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
-        (0..self.links.len() as u32).map(LinkId)
+        (0..narrow::<u32, _>(self.links.len())).map(LinkId)
     }
 
     /// Link by id.
@@ -270,7 +272,7 @@ impl Topology {
             .iter()
             .zip(&info.port_links)
             .enumerate()
-            .map(|(i, (&k, &l))| (PortIx(i as u8), k, l))
+            .map(|(i, (&k, &l))| (PortIx(narrow(i)), k, l))
     }
 
     /// Number of ports on switch `s`.
@@ -296,6 +298,7 @@ impl Topology {
     /// The host's uplink. Panics if the host is unwired (see
     /// [`Topology::validate`]).
     pub fn host_link(&self, h: HostId) -> LinkId {
+        // detlint::allow(S001, validate ensures every host is wired)
         self.hosts[h.idx()].link.expect("host not wired")
     }
 
@@ -304,6 +307,7 @@ impl Topology {
         let link = self.link(self.host_link(h));
         let ep = link.opposite(Node::Host(h));
         (
+            // detlint::allow(S001, hosts wire to switches only)
             ep.node.as_switch().expect("host wired to a switch"),
             ep.port,
         )

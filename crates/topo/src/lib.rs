@@ -13,6 +13,7 @@
 //!   root; ties broken by lower switch id) that the routing crate enforces.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod builders;
 pub mod dot;

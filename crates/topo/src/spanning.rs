@@ -41,11 +41,13 @@ impl RootPolicy {
                         usize::MAX - s.idx(), // prefer lower ids on ties
                     )
                 })
+                // detlint::allow(S001, spanning trees are built for validated topologies with switches)
                 .expect("topology has no switches"),
             RootPolicy::LowestId => SwitchId(0),
             RootPolicy::WorstCase => topo
                 .switch_ids()
                 .min_by_key(|&s| (topo.switch_neighbors(s).count(), usize::MAX - s.idx()))
+                // detlint::allow(S001, spanning trees are built for validated topologies with switches)
                 .expect("topology has no switches"),
             RootPolicy::Explicit(s) => s,
         }

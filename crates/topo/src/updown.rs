@@ -74,7 +74,8 @@ impl UpDown {
                         }
                     };
                     Some(UpEnd {
-                        switch: chosen.node.as_switch().unwrap(),
+                        // detlint::allow(S001, BFS only enqueues switch nodes)
+                        switch: chosen.node.as_switch().expect("BFS enqueues switches only"),
                         port: chosen.port,
                     })
                 }
@@ -110,6 +111,7 @@ impl UpDown {
         from: SwitchId,
         out_port: crate::ids::PortIx,
     ) -> Direction {
+        // detlint::allow(S001, up-down direction is only queried for switch-to-switch links)
         let up = self.up_end[link.idx()].expect("host links have no up/down direction");
         let l = topo.link(link);
         debug_assert!(l.touches(crate::ids::Node::Switch(from)));

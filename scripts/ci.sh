@@ -14,8 +14,24 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== detlint (determinism & soundness analyzer, hard gate) =="
+# Zero-dependency lexical analyzer: default-hasher maps, wall-clock time in
+# sim code, float event-time arithmetic, library unwrap/expect/panic without
+# a stated invariant, narrowing `as` casts, missing #![deny(unsafe_code)].
+# Exits nonzero on any unallowed finding; the JSON report is the audit trail.
+cargo run --release -q -p itb-lint --bin detlint
+echo "   report: results/detlint.json"
+
 echo "== cargo clippy (deny warnings, incl. perf lints) =="
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
+
+echo "== cargo clippy --lib (strict: truncating casts, unwraps) =="
+# Library code only: tests and benches keep unwrap ergonomics via
+# clippy.toml (allow-unwrap-in-tests) and #[cfg(test)] scoping.
+cargo clippy --lib \
+  -p itb-sim -p itb-topo -p itb-routing -p itb-obs -p itb-net \
+  -p itb-nic -p itb-gm -p itb-core -p itb-bench -p itb-lint \
+  -- -D warnings -D clippy::cast_possible_truncation -D clippy::unwrap_used
 
 echo "== cargo fmt --check =="
 cargo fmt --check
