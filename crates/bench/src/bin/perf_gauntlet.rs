@@ -20,7 +20,7 @@
 #![deny(unsafe_code)]
 
 use itb_core::ClusterSpec;
-use itb_gm::{AppBehavior, Cluster, ClusterEvent};
+use itb_gm::{AppBehavior, Cluster, ClusterEvent, ParRunReport};
 use itb_nic::McpFlavor;
 use itb_routing::{figures, RoutingPolicy};
 use itb_sim::{run_until, run_while, EventQueue, SimDuration, SimTime};
@@ -176,12 +176,41 @@ fn perm_stream_16sw(count: u32) -> ScenarioReport {
     })
 }
 
-/// The large-topology scenario the BENCH_perf trajectory gates on: a
-/// 32-switch irregular fabric (128 hosts) under Poisson load for a fixed
-/// simulated window. This is the workload class the ROADMAP's bigger
-/// multistage studies need to be cheap.
-fn large_load_32sw(window_us: u64) -> ScenarioReport {
-    let spec = ClusterSpec::irregular(32, 1).with_routing(RoutingPolicy::Itb);
+/// Worker threads requested via `ITB_THREADS` (same parsing discipline as
+/// the vendored rayon shim: trimmed integer, minimum 1, default 1).
+fn itb_threads() -> u32 {
+    std::env::var("ITB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Per-run record of a sharded execution, written to
+/// `results/perf_gauntlet_par.json`. Wall-clock numbers here are honest
+/// measurements on whatever machine ran the gauntlet —
+/// `available_parallelism` in the surrounding report says how many cores
+/// that machine actually had.
+#[derive(Debug, Clone, Serialize)]
+struct ParScenario {
+    name: String,
+    threads: u32,
+    shards: u32,
+    edge_cut: usize,
+    lookahead_ns: f64,
+    windows: u64,
+    per_shard_events: Vec<u64>,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    /// Wall-clock speedup against the 1-thread run of the same scenario in
+    /// this same gauntlet invocation (1.0 for the 1-thread run itself).
+    speedup_vs_t1: f64,
+}
+
+/// The Poisson-load spec shared by the large-fabric scenarios.
+fn load_spec(switches: usize) -> (ClusterSpec, Vec<AppBehavior>) {
+    let spec = ClusterSpec::irregular(switches, 1).with_routing(RoutingPolicy::Itb);
     let n = spec.num_hosts();
     let behaviors = vec![
         AppBehavior::Poisson {
@@ -191,19 +220,136 @@ fn large_load_32sw(window_us: u64) -> ScenarioReport {
         };
         n
     ];
+    (spec, behaviors)
+}
+
+/// Run a load scenario on `threads` shards and adapt the aggregate report
+/// into the gauntlet's scenario/par records. The digest subset (events,
+/// sim time, deliveries, injections) is identical to the sequential run of
+/// the same spec — that is the determinism contract CI byte-compares.
+fn measure_par(
+    name: &str,
+    spec: &ClusterSpec,
+    behaviors: &[AppBehavior],
+    threads: u32,
+    horizon: SimTime,
+) -> (ScenarioReport, ParRunReport, ParScenario) {
+    // Partitioning and replica construction stay outside the timed
+    // section, mirroring the sequential scenarios (which build and start
+    // their cluster before `measure`).
+    let part = itb_topo::partition(spec.topology(), threads as usize, spec.seed);
+    let replicas: Vec<Cluster> = (0..part.shards)
+        .map(|_| spec.build(behaviors.to_vec()))
+        .collect();
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    // detlint::allow(D002, wall-clock section: Mev/s and allocs/packet are host-side metrics)
+    let t0 = Instant::now();
+    let (_worlds, report) = itb_gm::run_cluster_shards(replicas, &part, horizon);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+    let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+    let scenario = ScenarioReport {
+        name: name.to_string(),
+        events: report.events,
+        sim_us: report.sim_time.as_us_f64(),
+        delivered: report.delivered,
+        injected: report.injected,
+        wall_s,
+        events_per_sec,
+        allocs,
+        alloc_bytes,
+        allocs_per_packet: allocs as f64 / report.injected.max(1) as f64,
+    };
+    let par = ParScenario {
+        name: name.to_string(),
+        threads: report.threads,
+        shards: report.per_shard_events.len() as u32,
+        edge_cut: report.edge_cut,
+        lookahead_ns: report.lookahead.as_ps() as f64 / 1000.0,
+        windows: report.windows,
+        per_shard_events: report.per_shard_events.clone(),
+        events: report.events,
+        wall_s,
+        events_per_sec,
+        speedup_vs_t1: 1.0,
+    };
+    (scenario, report, par)
+}
+
+/// The large-topology scenario the BENCH_perf trajectory gates on: a
+/// 32-switch irregular fabric (128 hosts) under Poisson load for a fixed
+/// simulated window. This is the workload class the ROADMAP's bigger
+/// multistage studies need to be cheap. With `ITB_THREADS>1` the run goes
+/// through the sharded engine — same digest, by construction.
+fn large_load_32sw(window_us: u64, threads: u32) -> (ScenarioReport, Option<ParScenario>) {
+    let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
+    if threads > 1 {
+        let (spec, behaviors) = load_spec(32);
+        let (scenario, _, par) =
+            measure_par("large_load_32sw", &spec, &behaviors, threads, horizon);
+        return (scenario, Some(par));
+    }
+    let (spec, behaviors) = load_spec(32);
     let mut cluster = spec.build(behaviors);
     let mut q = EventQueue::new();
     cluster.start(&mut q);
+    (
+        measure("large_load_32sw", cluster, q, move |c, q| {
+            run_until(c, q, horizon);
+        }),
+        None,
+    )
+}
+
+/// The linear-scaling study: the 64-switch irregular preset (256 hosts)
+/// under the same Poisson load, run across a thread sweep. The 1-thread
+/// run provides the digest scenario; every run lands in the par report
+/// with its wall-clock speedup over the 1-thread run.
+fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<ParScenario>) {
+    let (spec, behaviors) = load_spec(64);
     let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
-    measure("large_load_32sw", cluster, q, move |c, q| {
-        run_until(c, q, horizon);
-    })
+    let mut runs: Vec<ParScenario> = Vec::new();
+    let mut digest_scenario: Option<ScenarioReport> = None;
+    for &t in sweep {
+        let (scenario, _report, mut par) =
+            measure_par("large_load_64sw_par", &spec, &behaviors, t, horizon);
+        match &digest_scenario {
+            Some(d0) => {
+                par.speedup_vs_t1 = runs[0].wall_s / par.wall_s.max(1e-9);
+                assert_eq!(
+                    (scenario.events, scenario.delivered, scenario.injected),
+                    (d0.events, d0.delivered, d0.injected),
+                    "thread sweep diverged at t={t}"
+                );
+            }
+            None => digest_scenario = Some(scenario),
+        }
+        eprintln!(
+            "  64sw t={t}: shards={} cut={} windows={} wall={:.3}s speedup={:.2}x",
+            par.shards, par.edge_cut, par.windows, par.wall_s, par.speedup_vs_t1
+        );
+        runs.push(par);
+    }
+    (digest_scenario.expect("sweep is non-empty"), runs)
 }
 
 #[derive(Debug, Serialize)]
 struct GauntletReport {
     mode: &'static str,
     scenarios: Vec<ScenarioReport>,
+}
+
+/// The sharded-engine sidecar report: every parallel run of this gauntlet
+/// invocation, plus the host parallelism context that makes the wall-clock
+/// columns interpretable.
+#[derive(Debug, Serialize)]
+struct ParGauntletReport {
+    mode: &'static str,
+    itb_threads: u32,
+    available_parallelism: usize,
+    runs: Vec<ParScenario>,
 }
 
 fn main() {
@@ -215,19 +361,33 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "current".to_string());
+    let threads = itb_threads();
 
     // Smoke mode: tiny deterministic runs for the CI byte-compare. Full
     // mode: long enough that events/sec is a stable engine metric.
     let (pp_iters, stream_count, window_us) = if smoke { (2, 4, 300) } else { (40, 60, 4000) };
+    // The 64-switch fabric carries twice the host count; a shorter window
+    // keeps the full thread sweep affordable. Smoke runs only the
+    // env-selected thread count so the CI compare exercises both engines.
+    let (par_window_us, sweep) = if smoke {
+        (300, vec![threads])
+    } else {
+        (1500, vec![1, 2, 4, 8])
+    };
 
     eprintln!(
-        "running perf gauntlet ({})...",
+        "running perf gauntlet ({}, ITB_THREADS={threads})...",
         if smoke { "smoke" } else { "full" }
     );
+    let (ll32, mut par_runs_opt) = large_load_32sw(window_us, threads);
+    let (ll64, sweep_runs) = large_load_64sw_par(par_window_us, &sweep);
+    let mut par_runs: Vec<ParScenario> = par_runs_opt.take().into_iter().collect();
+    par_runs.extend(sweep_runs);
     let scenarios = vec![
         fig6_pingpong(pp_iters),
         perm_stream_16sw(stream_count),
-        large_load_32sw(window_us),
+        ll32,
+        ll64,
     ];
 
     println!("# Perf gauntlet — simulator wall-clock throughput");
@@ -255,6 +415,13 @@ fn main() {
     itb_bench::dump_json("perf_gauntlet", &report);
     let digest: Vec<ScenarioDigest> = scenarios.iter().map(|s| s.digest()).collect();
     itb_bench::dump_json("perf_gauntlet_digest", &digest);
+    let par_report = ParGauntletReport {
+        mode: if smoke { "smoke" } else { "full" },
+        itb_threads: threads,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs: par_runs,
+    };
+    itb_bench::dump_json("perf_gauntlet_par", &par_report);
 
     // The committed trajectory: full runs append/update their labelled
     // entry so each PR's speedup is measured against the recorded baseline.

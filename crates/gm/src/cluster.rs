@@ -10,7 +10,7 @@ use itb_nic::{McpFlavor, McpTiming, Nic, NicEvent, NicOutput, NicSched};
 use itb_routing::planner::ItbHostSelection;
 use itb_routing::{RouteTable, RoutingPolicy, SourceRoute};
 use itb_sim::{narrow, EventQueue, FxHashMap, SimDuration, SimRng, SimTime, World};
-use itb_topo::{HostId, Topology, UpDown};
+use itb_topo::{HostId, Partition, Topology, UpDown};
 use std::sync::Arc;
 
 /// Wire bytes GM adds to every packet for its own protocol header.
@@ -102,6 +102,31 @@ impl Sink<'_> {
     }
 }
 
+/// Cross-shard delivery bookkeeping: a message completed on the receiver's
+/// shard, but its [`MsgRecord`] lives on the *sender's* shard (message ids
+/// are allocated per shard, so the numeric id only means something there).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryNotice {
+    /// Application delivery time on the receiver's shard.
+    pub at: SimTime,
+    /// The sender-shard message id.
+    pub msg_id: u32,
+    /// Original sender (owner of the record).
+    pub from: HostId,
+    /// Capture sequence on the notifying shard (merge tie-break).
+    pub seq: u64,
+}
+
+/// Sharded-run identity of a cluster replica (None = sequential).
+struct GmShardInfo {
+    me: u32,
+    /// Owner shard per host (copied from the partition).
+    host_shard: Vec<u32>,
+    /// Per-destination-shard delivery notices captured this window.
+    notices: Vec<Vec<DeliveryNotice>>,
+    notice_seq: u64,
+}
+
 /// One application-level message's life record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgRecord {
@@ -177,6 +202,8 @@ pub struct Cluster {
     drops_observed: u64,
     packets_abandoned: u64,
     crashes_injected: u64,
+    /// Sharded-run identity (None = sequential; see [`Cluster::set_shard`]).
+    shard: Option<GmShardInfo>,
 }
 
 impl Cluster {
@@ -250,6 +277,57 @@ impl Cluster {
             drops_observed: 0,
             packets_abandoned: 0,
             crashes_injected: 0,
+            shard: None,
+        }
+    }
+
+    /// Turn this replica into shard `me` of a parallel run: the network
+    /// enters sharded mode (strided packet ids, cross-shard handoff capture)
+    /// and [`Cluster::start`] will kick off only the hosts this shard owns.
+    /// Every shard must be an *identical* replica built from the same
+    /// parameters — non-owned hosts keep their per-host RNG streams
+    /// untouched, so owned streams draw exactly the sequential sequence.
+    ///
+    /// # Panics
+    /// Panics if the plan schedules NIC crashes (fault injection and
+    /// parallel mode are mutually exclusive) or on any precondition
+    /// violated by [`Network::set_shard_ctx`].
+    pub fn set_shard(&mut self, me: u32, part: &Partition) {
+        assert!(
+            self.crashes.is_empty(),
+            "parallel mode requires a crash-free fault plan"
+        );
+        self.net.set_shard_ctx(me, part);
+        self.shard = Some(GmShardInfo {
+            me,
+            host_shard: part.shard_of_host.clone(),
+            notices: (0..part.shards).map(|_| Vec::new()).collect(),
+            notice_seq: 0,
+        });
+    }
+
+    /// Whether this replica owns `host` (always true sequentially).
+    fn owns_host(&self, h: usize) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.host_shard[h] == s.me)
+    }
+
+    /// Drain the delivery notices captured for shard `dst` this window.
+    pub fn take_delivery_notices(&mut self, dst: u32) -> Vec<DeliveryNotice> {
+        match self.shard.as_mut() {
+            Some(s) => std::mem::take(&mut s.notices[dst as usize]),
+            None => Vec::new(),
+        }
+    }
+
+    /// Apply a delivery notice from the receiver's shard to the message
+    /// record this (sender's) shard keeps.
+    pub fn apply_delivery_notice(&mut self, n: DeliveryNotice) {
+        if let Some(rec) = self.messages.get_mut(&n.msg_id) {
+            debug_assert_eq!(rec.src, n.from, "notice names the record's sender");
+            if rec.delivered_at.is_none() {
+                self.delivered_messages += 1;
+            }
+            rec.delivered_at = Some(n.at);
         }
     }
 
@@ -266,6 +344,11 @@ impl Cluster {
             );
         }
         for h in 0..self.behaviors.len() {
+            // Sharded runs kick off owned hosts only; the replicas of other
+            // shards never touch this host's state or RNG stream.
+            if !self.owns_host(h) {
+                continue;
+            }
             let host = HostId(narrow(h));
             match &self.behaviors[h] {
                 AppBehavior::Sink | AppBehavior::Echo => {}
@@ -750,13 +833,36 @@ impl Cluster {
         now: SimTime,
         q: &mut EventQueue<ClusterEvent>,
     ) {
-        if let Some(rec) = self.messages.get_mut(&msg_id) {
-            debug_assert_eq!(rec.dst, host, "message delivered to its destination");
-            debug_assert_eq!(rec.len, len, "reassembled length matches");
-            if rec.delivered_at.is_none() {
-                self.delivered_messages += 1;
+        // Message ids are allocated per shard, so the record keeper is the
+        // *sender's* shard: a numeric match in this replica's map would be a
+        // different message entirely. Route the bookkeeping home instead.
+        let record_is_local = match &mut self.shard {
+            None => true,
+            Some(s) => {
+                let owner = s.host_shard[from.idx()];
+                if owner == s.me {
+                    true
+                } else {
+                    s.notice_seq += 1;
+                    s.notices[owner as usize].push(DeliveryNotice {
+                        at: now,
+                        msg_id,
+                        from,
+                        seq: s.notice_seq,
+                    });
+                    false
+                }
             }
-            rec.delivered_at = Some(now);
+        };
+        if record_is_local {
+            if let Some(rec) = self.messages.get_mut(&msg_id) {
+                debug_assert_eq!(rec.dst, host, "message delivered to its destination");
+                debug_assert_eq!(rec.len, len, "reassembled length matches");
+                if rec.delivered_at.is_none() {
+                    self.delivered_messages += 1;
+                }
+                rec.delivered_at = Some(now);
+            }
         }
         self.app_deliveries += 1;
         self.delivery_log.push((from, host, msg_id));

@@ -27,7 +27,9 @@ pub mod config;
 pub mod host;
 pub mod mapper;
 pub mod meta;
+pub mod par;
 
 pub use apps::AppBehavior;
-pub use cluster::{Cluster, ClusterEvent, MsgRecord};
+pub use cluster::{Cluster, ClusterEvent, DeliveryNotice, MsgRecord};
 pub use config::GmConfig;
+pub use par::{run_cluster_shards, ParRunReport, ShardCluster};

@@ -1,0 +1,217 @@
+//! Sharded parallel execution of a [`Cluster`] (conservative PDES).
+//!
+//! One [`Cluster`] replica per shard, each built from identical parameters,
+//! then specialized with [`Cluster::set_shard`]: the replica kicks off only
+//! the hosts its shard owns and its network captures cross-shard effects
+//! (flits over cut cables, upstream STOP/GO control bytes) into handoff
+//! buffers instead of scheduling them locally. The generic window driver
+//! ([`itb_sim::par::run_shards`]) synchronizes the shards and moves the
+//! handoffs; this module supplies the [`ShardWorld`] glue plus the
+//! lookahead derivation.
+//!
+//! ## Lookahead
+//!
+//! Every cross-shard effect is one of:
+//! * a flit crossing a cut cable — earliest arrival `now + ser + prop`
+//!   where `ser ≥ link_bw.transfer_time(1)` and `prop ≥` the minimum cut
+//!   propagation delay;
+//! * a STOP/GO control byte to an upstream switch — arrival
+//!   `now + ctrl_latency`;
+//! * a delivery notice — pure bookkeeping, no scheduled event.
+//!
+//! so `lookahead = min(ctrl_latency, min_cut_prop + transfer_time(1))` is a
+//! sound conservative bound, derived from the partition at setup time.
+//!
+//! ## Determinism
+//!
+//! Shard queues stamp their shard id into the schedule rank
+//! ([`itb_sim::EventQueue::set_shard_rank`]) and absorbed handoffs keep the
+//! rank of their original producer, so events merge in the order the
+//! sequential run dispatches them and the run is reproducible — same event
+//! totals, deliveries and simulated time as `ITB_THREADS=1`.
+
+use crate::cluster::{Cluster, ClusterEvent, DeliveryNotice};
+use itb_net::NetHandoff;
+use itb_sim::par::{run_shards, Envelope, ShardWorld};
+use itb_sim::{narrow, EventQueue, SimDuration, SimTime, World};
+use itb_topo::Partition;
+
+/// Cross-shard payload of the integrated cluster.
+pub enum ShardMsg {
+    /// A network effect (flit over a cut cable, upstream control byte).
+    Net(NetHandoff),
+    /// Message-delivery bookkeeping for the sender's shard.
+    Delivered(DeliveryNotice),
+}
+
+/// One shard of a parallel cluster run: a specialized replica plus its
+/// private event queue.
+pub struct ShardCluster {
+    /// The shard's cluster replica.
+    pub cluster: Cluster,
+    /// The shard's event queue.
+    pub q: EventQueue<ClusterEvent>,
+    me: u32,
+}
+
+impl ShardWorld for ShardCluster {
+    type Msg = ShardMsg;
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    fn run_window(&mut self, limit: SimTime) {
+        while self.q.peek_time().is_some_and(|t| t < limit) {
+            // detlint::allow(S001, pop follows a successful peek under the same borrow)
+            let (now, ev) = self.q.pop().expect("peeked entry vanished");
+            self.cluster.handle(now, ev, &mut self.q);
+        }
+    }
+
+    fn take_outbox(&mut self, dst: u32) -> Vec<Envelope<ShardMsg>> {
+        let me = self.me;
+        let mut out: Vec<Envelope<ShardMsg>> = self
+            .cluster
+            .net
+            .take_net_outbox(dst)
+            .into_iter()
+            .map(|h| Envelope {
+                fire_at: h.fire_at(),
+                rank_time: h.rank_time(),
+                src_shard: me,
+                src_seq: h.seq(),
+                msg: ShardMsg::Net(h),
+            })
+            .collect();
+        out.extend(
+            self.cluster
+                .take_delivery_notices(dst)
+                .into_iter()
+                .map(|n| Envelope {
+                    fire_at: n.at,
+                    rank_time: n.at,
+                    src_shard: me,
+                    src_seq: n.seq,
+                    msg: ShardMsg::Delivered(n),
+                }),
+        );
+        out
+    }
+
+    fn absorb(&mut self, env: Envelope<ShardMsg>) {
+        match env.msg {
+            ShardMsg::Net(h) => {
+                let ev = self.cluster.net.adopt_handoff(h);
+                self.q.schedule_ranked(
+                    env.fire_at,
+                    env.rank_time,
+                    env.src_shard,
+                    ClusterEvent::Net(ev),
+                );
+            }
+            // Pure bookkeeping: no event to schedule, the record is
+            // updated immediately (merge order keeps it deterministic).
+            ShardMsg::Delivered(n) => self.cluster.apply_delivery_notice(n),
+        }
+    }
+}
+
+/// Aggregated result of one parallel cluster run.
+#[derive(Debug, Clone)]
+pub struct ParRunReport {
+    /// Worker threads (= shards actually used).
+    pub threads: u32,
+    /// Cut cables between shards.
+    pub edge_cut: usize,
+    /// Conservative window bound derived from the partition.
+    pub lookahead: SimDuration,
+    /// Synchronized execution windows.
+    pub windows: u64,
+    /// Total events dispatched across all shards (equals the sequential
+    /// run's count).
+    pub events: u64,
+    /// Events dispatched per shard, in shard order.
+    pub per_shard_events: Vec<u64>,
+    /// Messages delivered (first deliveries; equals sequential).
+    pub delivered: u64,
+    /// Packets injected (equals sequential).
+    pub injected: u64,
+    /// Final simulated time: the maximum shard clock.
+    pub sim_time: SimTime,
+}
+
+/// Conservative lookahead for `part` under `cluster`'s network config:
+/// `min(ctrl_latency, min_cut_propagation + transfer_time(1 byte))`. With
+/// no cut cables (single shard) the control latency alone bounds windows.
+pub fn lookahead_for(cluster: &Cluster, part: &Partition) -> SimDuration {
+    let cfg = cluster.net.config();
+    let ctrl = cfg.ctrl_latency;
+    match part.min_cut_propagation {
+        Some(prop) => ctrl.min(prop + cfg.link_bw.transfer_time(1)),
+        None => ctrl,
+    }
+}
+
+/// Run `replicas` (identical, freshly built, not yet started) as the shards
+/// of `part` up to `horizon` (inclusive), one OS thread per shard.
+///
+/// Returns the shard worlds (for per-shard inspection) and the aggregated
+/// [`ParRunReport`] whose event/delivery/injection totals match the
+/// sequential run of the same parameters.
+///
+/// # Panics
+/// Panics if `replicas.len() != part.shards` or on any sharding
+/// precondition (fault plans, timelines and tracing are incompatible with
+/// parallel mode; see [`Cluster::set_shard`]).
+pub fn run_cluster_shards(
+    replicas: Vec<Cluster>,
+    part: &Partition,
+    horizon: SimTime,
+) -> (Vec<ShardCluster>, ParRunReport) {
+    assert_eq!(
+        replicas.len(),
+        part.shards as usize,
+        "one replica per shard"
+    );
+    let mut worlds = Vec::with_capacity(replicas.len());
+    let mut lookahead = None;
+    for (i, mut cluster) in replicas.into_iter().enumerate() {
+        let me: u32 = narrow(i);
+        cluster.set_shard(me, part);
+        let mut q = EventQueue::new();
+        q.set_shard_rank(me);
+        cluster.start(&mut q);
+        lookahead.get_or_insert_with(|| lookahead_for(&cluster, part));
+        worlds.push(ShardCluster { cluster, q, me });
+    }
+    // detlint::allow(S001, the replica count was asserted nonzero via part.shards >= 1)
+    let lookahead = lookahead.expect("at least one shard");
+
+    let (worlds, report) = run_shards(worlds, lookahead, horizon);
+
+    let per_shard_events: Vec<u64> = worlds.iter().map(|w| w.q.events_dispatched()).collect();
+    let events = per_shard_events.iter().sum();
+    let delivered = worlds
+        .iter()
+        .map(|w| w.cluster.delivered_count() as u64)
+        .sum();
+    let injected = worlds.iter().map(|w| w.cluster.net.stats().injected).sum();
+    let sim_time = worlds
+        .iter()
+        .map(|w| w.q.now())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let agg = ParRunReport {
+        threads: report.threads,
+        edge_cut: part.edge_cut,
+        lookahead,
+        windows: report.windows,
+        events,
+        per_shard_events,
+        delivered,
+        injected,
+        sim_time,
+    };
+    (worlds, agg)
+}

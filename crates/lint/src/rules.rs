@@ -9,9 +9,13 @@
 //!   `itb_sim::fxmap::{FxHashMap, FxHashSet}` or a `BTreeMap`/`BTreeSet`.
 //!   Only `crates/sim/src/fxmap.rs` (which wraps std's map with a fixed
 //!   hasher) is exempt.
-//! * **D002** — no wall-clock or OS randomness (`Instant`, `SystemTime`,
-//!   `thread_rng`). Simulated time comes from the event queue; host time in
-//!   a sim-side path destroys replayability. Bench wall-clock sections opt
+//! * **D002** — no wall-clock, OS randomness or ad-hoc threading
+//!   (`Instant`, `SystemTime`, `thread_rng`, `thread::spawn`/`scope`).
+//!   Simulated time comes from the event queue; host time in a sim-side
+//!   path destroys replayability, and unsynchronized threads make event
+//!   order depend on the OS scheduler. The sanctioned fork point is the
+//!   barrier-synchronized PDES driver in `itb_sim::par` (annotated);
+//!   benches are exempt. Bench-style wall-clock sections elsewhere opt
 //!   out with `// detlint::allow(D002, reason)`.
 //! * **D003** — no `f32`/`f64` arithmetic on event-time values. Integer
 //!   picoseconds in, integer picoseconds out; float conversion is reserved
@@ -352,12 +356,14 @@ fn check_d001(class: &FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
     }
 }
 
-/// D002: wall clock / OS randomness.
+/// D002: wall clock / OS randomness / ad-hoc threading.
 fn check_d002(class: &FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
-    for t in &lexed.tokens {
-        if t.kind == TokKind::Ident
-            && (t.text == "Instant" || t.text == "SystemTime" || t.text == "thread_rng")
-        {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" || t.text == "thread_rng" {
             out.push(Finding {
                 rule: "D002",
                 file: class.path.clone(),
@@ -366,6 +372,33 @@ fn check_d002(class: &FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
                     "`{}` — wall clock / OS randomness breaks replayability; \
                      simulated time comes from the event queue, seeds from SimRng",
                     t.text
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+        // `thread::spawn` / `thread::scope`: OS scheduling order leaking
+        // into simulation state is the same hazard as wall-clock reads.
+        // The sanctioned spawn site is the barrier-synchronized PDES
+        // driver (`crates/sim/src/par.rs`, annotated); benches measure
+        // wall-clock throughput by design and are exempt.
+        if t.text == "thread"
+            && punct_is(toks, i + 1, ':')
+            && punct_is(toks, i + 2, ':')
+            && matches!(toks.get(i + 3), Some(s) if s.kind == TokKind::Ident
+                && matches!(s.text.as_str(), "spawn" | "scope"))
+            && !(class.kind == FileKind::Bench || class.krate == "bench")
+        {
+            out.push(Finding {
+                rule: "D002",
+                file: class.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`thread::{}` — unsynchronized threads make event order depend on \
+                     the OS scheduler; go through `itb_sim::par::run_shards` (the \
+                     deterministic fork point) or state why this spawn cannot \
+                     affect simulation state",
+                    toks[i + 3].text
                 ),
                 allowed: false,
                 reason: None,

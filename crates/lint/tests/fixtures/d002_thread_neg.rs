@@ -1,0 +1,22 @@
+//! D002 negatives for the threading check: lookalikes, annotated spawns
+//! and thread mentions that never fork.
+
+/// "thread::spawn" in a comment or a string is not a fork.
+pub fn docs_only() -> &'static str {
+    "call thread::spawn at your peril"
+}
+
+pub struct ThreadPoolStats {
+    pub threads: usize,
+}
+
+/// A query, not a fork: reading parallelism does not order events.
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub fn sanctioned_fork() {
+    // detlint::allow(D002, barrier-synchronized worker pool mirroring itb_sim::par)
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

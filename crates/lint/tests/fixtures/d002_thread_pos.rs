@@ -1,0 +1,18 @@
+//! D002 true positives: ad-hoc threading in simulation code.
+
+pub fn race_the_scheduler() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}
+
+pub fn scoped_race() {
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}
+
+use std::thread;
+
+pub fn imported_spawn() {
+    let _ = thread::spawn(|| ());
+}

@@ -68,6 +68,31 @@ fn d002_ignores_lookalikes_and_honours_allow() {
         .is_some_and(|r| r.contains("bench wall-clock")));
 }
 
+#[test]
+fn d002_flags_thread_spawn_in_sim_code() {
+    let fs = lint_fixture("crates/nic/src/code.rs", "d002_thread_pos.rs");
+    // std::thread::spawn, std::thread::scope, imported thread::spawn.
+    let hits = unallowed(&fs, "D002");
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(hits.iter().all(|f| f.message.contains("run_shards")));
+}
+
+#[test]
+fn d002_thread_check_spares_lookalikes_and_benches() {
+    let fs = lint_fixture("crates/nic/src/code.rs", "d002_thread_neg.rs");
+    assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
+    // The annotated spawn stays on the audit trail as an allowed finding.
+    assert_eq!(
+        fs.iter().filter(|f| f.rule == "D002" && f.allowed).count(),
+        1
+    );
+    // The same forks in a bench target are measurement harness, not model.
+    let fs = lint_fixture("crates/gm/benches/code.rs", "d002_thread_pos.rs");
+    assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
+    let fs = lint_fixture("crates/bench/src/code.rs", "d002_thread_pos.rs");
+    assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
+}
+
 // ---- D003 ----------------------------------------------------------------
 
 #[test]

@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod fxmap;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod trace;
 
 pub use engine::{run_for, run_until, run_while, World};
 pub use fxmap::{FxHashMap, FxHashSet};
+pub use par::{run_shards, Envelope, ParReport, ShardWorld};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};

@@ -1,0 +1,413 @@
+//! Conservative sharded parallel engine (epoch-synchronized PDES).
+//!
+//! The sequential engine ([`crate::engine`]) is the reference semantics;
+//! this module executes the *same* event order across several OS threads.
+//! The integrating crate partitions its model into shards (see
+//! `itb_topo::partition`), each owning a private [`EventQueue`], and
+//! implements [`ShardWorld`] so the driver here can:
+//!
+//! 1. find the global next event time `g` (a barrier + one atomic slot per
+//!    shard),
+//! 2. let every shard execute its local events in the bounded window
+//!    `[g, g + lookahead)` in parallel — conservatively safe because any
+//!    cross-shard effect produced at time `t` fires at `t + lookahead` or
+//!    later (the lookahead is the minimum cross-shard cable latency, so the
+//!    physics of the model guarantees the bound),
+//! 3. exchange the cross-shard messages produced during the window through
+//!    per-(src, dst) mailboxes, and
+//! 4. absorb them in a *fixed merge order* — `(fire time, rank time, source
+//!    shard, source sequence)` — before the next window.
+//!
+//! Determinism contract: with [`EventQueue::schedule_ranked`] preserving
+//! each message's original scheduling rank, the per-shard pop order equals
+//! the order the sequential run would have dispatched those same events in,
+//! so a parallel run is byte-identical to the sequential run (digests,
+//! figure artifacts, chaos audits). The engine never consults wall-clock
+//! time, thread identity or map iteration order.
+//!
+//! Threads park on [`std::sync::Barrier`] between windows, so the engine is
+//! correct (if pointless) even when oversubscribed on a single core.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A cross-shard message captured during a window, carrying everything the
+/// destination needs to reproduce the sequential schedule order.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Absolute time the event must fire at on the destination shard.
+    pub fire_at: SimTime,
+    /// Clock of the *scheduling* event on the source shard (the rank the
+    /// sequential run would have stamped).
+    pub rank_time: SimTime,
+    /// Source shard id (tie-break between same-picosecond messages from
+    /// different shards).
+    pub src_shard: u32,
+    /// Source-local capture sequence (FIFO among messages from one shard).
+    pub src_seq: u64,
+    /// The model-specific payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// The fixed merge key: destination shards absorb mailbox contents
+    /// sorted by this, which equals the sequential dispatch order.
+    #[inline]
+    pub fn merge_key(&self) -> (SimTime, SimTime, u32, u64) {
+        (self.fire_at, self.rank_time, self.src_shard, self.src_seq)
+    }
+
+    /// Schedule this envelope into a shard's queue, preserving its rank.
+    #[inline]
+    pub fn schedule_into<E>(self, q: &mut EventQueue<E>, into: impl FnOnce(M) -> E) {
+        q.schedule_ranked(self.fire_at, self.rank_time, self.src_shard, into(self.msg));
+    }
+}
+
+/// One shard of a partitioned simulation, as seen by the window driver.
+///
+/// Implementations own their shard's [`EventQueue`] plus the model state the
+/// shard is responsible for. The driver only ever needs three things: the
+/// next pending local time, bounded execution, and mailbox plumbing.
+pub trait ShardWorld {
+    /// Cross-shard message payload.
+    type Msg: Send;
+
+    /// Timestamp of the earliest pending local event (`None` when idle).
+    fn next_time(&self) -> Option<SimTime>;
+
+    /// Execute every local event with `time < limit`, in queue order,
+    /// capturing cross-shard effects into internal per-destination outboxes
+    /// instead of scheduling them locally.
+    fn run_window(&mut self, limit: SimTime);
+
+    /// Drain the outbox for destination shard `dst` (capture order must be
+    /// the deterministic execution order of [`ShardWorld::run_window`]).
+    fn take_outbox(&mut self, dst: u32) -> Vec<Envelope<Self::Msg>>;
+
+    /// Accept one incoming envelope: adopt any carried state and schedule
+    /// the event with [`EventQueue::schedule_ranked`]. The driver calls this
+    /// in merge-key order.
+    fn absorb(&mut self, env: Envelope<Self::Msg>);
+}
+
+/// Summary of one parallel run.
+#[derive(Debug, Clone)]
+pub struct ParReport {
+    /// Worker threads used (= shard count).
+    pub threads: u32,
+    /// Synchronized execution windows (barrier epochs with work in them).
+    pub windows: u64,
+    /// Lookahead bound the windows were derived from.
+    pub lookahead: SimDuration,
+}
+
+/// Sentinel for "shard has nothing pending".
+const IDLE: u64 = u64::MAX;
+
+/// One window's cross-shard mail from one source shard to one destination.
+type Mailbox<M> = Mutex<Vec<Envelope<M>>>;
+
+/// Run `worlds` (one per shard) to `horizon` (inclusive, matching
+/// [`crate::engine::run_until`]) on one OS thread per shard.
+///
+/// `lookahead` must be a *conservative* bound: an event executing at time
+/// `t` on one shard may only produce cross-shard effects firing at
+/// `t + lookahead` or later. The caller derives it from the partition's
+/// minimum cut-link latency.
+///
+/// Returns the worlds (for stats extraction) and a [`ParReport`].
+///
+/// # Panics
+/// Panics if `worlds` is empty or `lookahead` is zero — a conservative
+/// engine cannot make progress without strictly positive lookahead.
+pub fn run_shards<W>(
+    worlds: Vec<W>,
+    lookahead: SimDuration,
+    horizon: SimTime,
+) -> (Vec<W>, ParReport)
+where
+    W: ShardWorld + Send,
+{
+    let n = worlds.len();
+    assert!(n > 0, "run_shards needs at least one shard");
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "conservative engine needs positive lookahead"
+    );
+
+    // Single shard: no cross-shard traffic is possible; one unbounded
+    // window to the horizon is the sequential engine.
+    if n == 1 {
+        let mut worlds = worlds;
+        worlds[0].run_window(SimTime::from_ps(horizon.as_ps().saturating_add(1)));
+        return (
+            worlds,
+            ParReport {
+                threads: 1,
+                windows: 1,
+                lookahead,
+            },
+        );
+    }
+
+    // next_times[s]: earliest pending event on shard s (IDLE when empty),
+    // published before barrier A, read after it.
+    let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(IDLE)).collect();
+    // mailboxes[src][dst]: envelopes captured by src for dst during the
+    // current window. Written between barrier A and barrier B (by src
+    // only), drained between barrier B and the next barrier A (by dst
+    // only) — the barriers are what make the Mutex uncontended.
+    let mailboxes: Vec<Vec<Mailbox<W::Msg>>> = (0..n)
+        .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let barrier_a = Barrier::new(n);
+    let barrier_b = Barrier::new(n);
+    let l_ps = lookahead.as_ps();
+    let horizon_ps = horizon.as_ps();
+
+    // detlint::allow(D002, the conservative PDES driver is the one sanctioned thread-spawn site; workers synchronize on barriers and never read wall-clock time)
+    let results: Vec<(W, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (me, mut world) in worlds.into_iter().enumerate() {
+            let next_times = &next_times;
+            let mailboxes = &mailboxes;
+            let barrier_a = &barrier_a;
+            let barrier_b = &barrier_b;
+            // detlint::allow(D002, one worker per shard, joined before run_shards returns)
+            handles.push(scope.spawn(move || {
+                let mut windows: u64 = 0;
+                let mut incoming: Vec<Envelope<W::Msg>> = Vec::new();
+                loop {
+                    // Drain mailboxes addressed to this shard (deposited
+                    // before the previous barrier B) and merge them in the
+                    // fixed order the sequential run would dispatch them.
+                    for (src, row) in mailboxes.iter().enumerate() {
+                        if src != me {
+                            // detlint::allow(S001, poisoning is unreachable: a worker panic aborts the scope before the lock is retaken)
+                            let mut slot = row[me].lock().expect("poisoned");
+                            incoming.append(&mut slot);
+                        }
+                    }
+                    incoming.sort_by_key(Envelope::merge_key);
+                    for env in incoming.drain(..) {
+                        world.absorb(env);
+                    }
+
+                    // Publish the earliest pending local time, then agree on
+                    // the global minimum g.
+                    let mine = world.next_time().map_or(IDLE, SimTime::as_ps);
+                    next_times[me].store(mine, Ordering::SeqCst);
+                    barrier_a.wait();
+                    let mut g = IDLE;
+                    for slot in next_times.iter() {
+                        g = g.min(slot.load(Ordering::SeqCst));
+                    }
+                    if g > horizon_ps {
+                        // Every shard computes the same g from the same
+                        // slots, so all workers break on the same epoch —
+                        // with every mailbox provably drained above.
+                        break;
+                    }
+
+                    // Execute the window [g, g + lookahead), clipped to the
+                    // inclusive horizon, then deposit cross-shard effects.
+                    let limit = g.saturating_add(l_ps).min(horizon_ps.saturating_add(1));
+                    world.run_window(SimTime::from_ps(limit));
+                    for (dst, slot) in mailboxes[me].iter().enumerate() {
+                        if dst != me {
+                            let out = world.take_outbox(crate::narrow(dst));
+                            if !out.is_empty() {
+                                // detlint::allow(S001, poisoning is unreachable: a worker panic aborts the scope before the lock is retaken)
+                                let mut slot = slot.lock().expect("poisoned");
+                                slot.extend(out);
+                            }
+                        }
+                    }
+                    windows += 1;
+                    barrier_b.wait();
+                }
+                (world, windows)
+            }));
+        }
+        handles
+            .into_iter()
+            // detlint::allow(S001, a worker panic is a model bug; join propagates it to the caller)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut worlds = Vec::with_capacity(n);
+    let mut windows = 0u64;
+    for (w, wnd) in results {
+        windows = windows.max(wnd);
+        worlds.push(w);
+    }
+    (
+        worlds,
+        ParReport {
+            threads: crate::narrow(n),
+            windows,
+            lookahead,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy sharded model: each shard owns one counter host; every event
+    /// increments the local counter and with a fixed pattern sends a
+    /// follow-up to the other shard at `now + delay` (delay ≥ lookahead).
+    struct Toy {
+        me: u32,
+        q: EventQueue<u64>,
+        count: u64,
+        history: Vec<(SimTime, u64)>,
+        outbox: Vec<Envelope<u64>>,
+        out_seq: u64,
+        hops: u64,
+        delay: SimDuration,
+    }
+
+    impl Toy {
+        fn handle(&mut self, now: SimTime, tag: u64) {
+            self.count += 1;
+            self.history.push((now, tag));
+            if self.hops > 0 {
+                self.hops -= 1;
+                // Alternate: even tags stay local, odd tags hop shards.
+                if tag.is_multiple_of(2) {
+                    self.q.schedule(now + self.delay, tag + 1);
+                } else {
+                    self.out_seq += 1;
+                    self.outbox.push(Envelope {
+                        fire_at: now + self.delay,
+                        rank_time: now,
+                        src_shard: self.me,
+                        src_seq: self.out_seq,
+                        msg: tag + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    impl ShardWorld for Toy {
+        type Msg = u64;
+        fn next_time(&self) -> Option<SimTime> {
+            self.q.peek_time()
+        }
+        fn run_window(&mut self, limit: SimTime) {
+            while self.q.peek_time().is_some_and(|t| t < limit) {
+                // detlint::allow(S001, pop follows a successful peek)
+                let (now, tag) = self.q.pop().expect("peeked entry vanished");
+                self.handle(now, tag);
+            }
+        }
+        fn take_outbox(&mut self, _dst: u32) -> Vec<Envelope<u64>> {
+            std::mem::take(&mut self.outbox)
+        }
+        fn absorb(&mut self, env: Envelope<u64>) {
+            env.schedule_into(&mut self.q, |m| m);
+        }
+    }
+
+    fn toy(me: u32, shards: u32) -> Toy {
+        let mut q = EventQueue::new();
+        q.set_shard_rank(me);
+        Toy {
+            me,
+            q,
+            count: 0,
+            history: Vec::new(),
+            outbox: Vec::new(),
+            out_seq: 0,
+            hops: 200,
+            delay: SimDuration::from_ns(30),
+        }
+        .tap_seed(shards)
+    }
+
+    impl Toy {
+        fn tap_seed(mut self, shards: u32) -> Toy {
+            // Every shard starts one chain; stagger the kick-offs so ties
+            // and near-ties occur across shards.
+            let t0 = SimTime::from_ns(u64::from(self.me % shards) + 1);
+            self.q.schedule(t0, u64::from(self.me) * 1000);
+            self
+        }
+    }
+
+    #[test]
+    fn two_shards_match_sequential_history() {
+        let horizon = SimTime::from_us(100);
+        let lookahead = SimDuration::from_ns(30);
+
+        // Parallel run.
+        let worlds = vec![toy(0, 2), toy(1, 2)];
+        let (par, report) = run_shards(worlds, lookahead, horizon);
+        assert_eq!(report.threads, 2);
+        assert!(report.windows > 1, "expected multiple windows");
+
+        // Sequential reference: same model, one queue, events tagged by
+        // owner; cross-shard sends become plain schedules.
+        let mut seq: Vec<Vec<(SimTime, u64)>> = vec![Vec::new(), Vec::new()];
+        let mut q = EventQueue::<(u32, u64)>::new();
+        q.schedule(SimTime::from_ns(1), (0, 0));
+        q.schedule(SimTime::from_ns(2), (1, 1000));
+        let mut hops = [200u64, 200u64];
+        let delay = SimDuration::from_ns(30);
+        while let Some(t) = q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            // detlint::allow(S001, pop follows a successful peek)
+            let (now, (owner, tag)) = q.pop().expect("peeked entry vanished");
+            seq[owner as usize].push((now, tag));
+            if hops[owner as usize] > 0 {
+                hops[owner as usize] -= 1;
+                let nxt = if tag % 2 == 0 { owner } else { 1 - owner };
+                q.schedule(now + delay, (nxt, tag + 1));
+            }
+        }
+
+        for s in 0..2 {
+            assert_eq!(par[s].history, seq[s], "shard {s} history diverged");
+        }
+    }
+
+    #[test]
+    fn single_shard_runs_to_horizon() {
+        let (worlds, report) = run_shards(
+            vec![toy(0, 1)],
+            SimDuration::from_ns(30),
+            SimTime::from_us(100),
+        );
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.windows, 1);
+        assert!(worlds[0].count > 0);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let run = || {
+            let (w, _) = run_shards(
+                vec![toy(0, 4), toy(1, 4), toy(2, 4), toy(3, 4)],
+                SimDuration::from_ns(30),
+                SimTime::from_us(50),
+            );
+            w.into_iter().map(|t| t.history).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_rejected() {
+        let _ = run_shards(vec![toy(0, 1)], SimDuration::ZERO, SimTime::from_us(1));
+    }
+}

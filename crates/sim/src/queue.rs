@@ -2,22 +2,49 @@
 
 use crate::time::{SimDuration, SimTime};
 
-/// One scheduled entry: fires at `time`; `seq` breaks ties FIFO.
+/// One scheduled entry: fires at `time`; `(rank_time, rank)` breaks ties
+/// among simultaneous events.
+///
+/// `rank_time` is the timestamp of the *scheduling* event (the queue clock
+/// at the moment `schedule` was called). `rank` packs the scheduling shard
+/// id (high [`SHARD_BITS`] bits, 0 in sequential runs) over the schedule
+/// sequence number (low [`SEQ_BITS`] bits) — one word, but it compares
+/// exactly like the tuple `(shard, seq)` because `seq` never reaches
+/// 2^[`SEQ_BITS`] (asserted on every schedule). Both rank components exist
+/// so the parallel engine can reproduce the sequential tie order: a
+/// cross-shard handoff re-scheduled after a barrier carries its original
+/// rank instead of the (later, nondeterministic) merge-time rank.
 struct Entry<E> {
     time: SimTime,
-    seq: u64,
+    rank_time: SimTime,
+    rank: u64,
     event: E,
 }
 
 impl<E> Entry<E> {
-    /// Total order on `(time, seq)`. Keys are unique (`seq` increments on
-    /// every schedule), so any heap discipline pops entries in exactly this
-    /// order — the heap's arity cannot perturb determinism.
+    /// Total order on `(time, rank_time, rank)`. Keys are unique (the `seq`
+    /// low bits of `rank` increment on every schedule), so any heap
+    /// discipline pops entries in exactly this order — the heap's arity
+    /// cannot perturb determinism.
+    ///
+    /// In a sequential run this order equals the historical `(time, seq)`
+    /// order: `rank_time` is the queue clock at schedule time, which never
+    /// decreases as `seq` increases, and the shard bits are constantly 0 —
+    /// so among entries with equal `time`, sorting by `(rank_time, rank)`
+    /// sorts by `seq`.
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn key(&self) -> (SimTime, SimTime, u64) {
+        (self.time, self.rank_time, self.rank)
     }
 }
+
+/// Low bits of an entry's `rank`: the per-queue schedule sequence number.
+const SEQ_BITS: u32 = 48;
+/// High bits of an entry's `rank`: the scheduling shard id.
+const SHARD_BITS: u32 = 16;
+/// Exclusive upper bound on sequence numbers (2^48 ≈ 2.8 × 10^14 schedules
+/// — about a month of continuous scheduling at the engine's measured rate).
+const SEQ_LIMIT: u64 = 1 << SEQ_BITS;
 
 /// Heap arity. A 4-ary heap is ~half the depth of a binary heap: fewer
 /// sift levels per push/pop and better cache behaviour on the fat union
@@ -36,11 +63,16 @@ const D: usize = 4;
 /// in exactly the order the previous `BinaryHeap` implementation did (see
 /// `tests/queue_determinism.rs` for the differential proof).
 pub struct EventQueue<E> {
-    /// Min-heap on `(time, seq)`, `D`-ary, rooted at index 0.
+    /// Min-heap on `(time, rank_time, rank)`, `D`-ary, rooted at index 0.
     heap: Vec<Entry<E>>,
     seq: u64,
     now: SimTime,
     popped: u64,
+    /// Tie-break shard id stamped on locally scheduled entries, pre-shifted
+    /// into the high [`SHARD_BITS`] of `rank`. 0 in sequential runs; the
+    /// parallel engine sets each shard's own id so same-picosecond events
+    /// from different shards merge in a fixed order.
+    rank_base: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,7 +89,20 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            rank_base: 0,
         }
+    }
+
+    /// Set the shard id stamped on locally scheduled entries (see
+    /// [`EventQueue::schedule_ranked`]). The parallel engine calls this once
+    /// per shard queue; sequential code never needs it (the default 0 keeps
+    /// the historical `(time, seq)` order exactly).
+    ///
+    /// # Panics
+    /// Panics if `shard` does not fit in the [`SHARD_BITS`] rank field.
+    pub fn set_shard_rank(&mut self, shard: u32) {
+        assert!(shard < (1 << SHARD_BITS), "shard id {shard} out of range");
+        self.rank_base = u64::from(shard) << SEQ_BITS;
     }
 
     /// Current simulation time: the timestamp of the most recently popped
@@ -84,14 +129,55 @@ impl<E> EventQueue<E> {
             "scheduled into the past: at={at} now={}",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.next_seq();
         self.heap.push(Entry {
             time: at,
-            seq,
+            rank_time: self.now,
+            rank: self.rank_base | seq,
             event,
         });
         self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Schedule `event` at `at` with an explicit tie-break rank, preserving
+    /// the rank it was *originally* scheduled with on another shard.
+    ///
+    /// The parallel engine uses this when absorbing cross-shard handoffs: a
+    /// remote event generated at time `rank_time` on shard `rank_src` must
+    /// sort among same-picosecond events exactly as it would have in the
+    /// sequential run, not by its (later) merge time. Sequential code should
+    /// use [`EventQueue::schedule`], which stamps the rank automatically.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time or `rank_src` does not
+    /// fit in the [`SHARD_BITS`] rank field.
+    pub fn schedule_ranked(&mut self, at: SimTime, rank_time: SimTime, rank_src: u32, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled into the past: at={at} now={}",
+            self.now
+        );
+        assert!(
+            rank_src < (1 << SHARD_BITS),
+            "shard id {rank_src} out of range"
+        );
+        let seq = self.next_seq();
+        self.heap.push(Entry {
+            time: at,
+            rank_time,
+            rank: (u64::from(rank_src) << SEQ_BITS) | seq,
+            event,
+        });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Allocate the next tie-break sequence number.
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        assert!(seq < SEQ_LIMIT, "event sequence number overflow");
+        self.seq += 1;
+        seq
     }
 
     /// Schedule `event` to fire `delta` after the current time — the common

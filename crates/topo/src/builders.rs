@@ -299,6 +299,19 @@ impl IrregularSpec {
     }
 }
 
+/// Canonical seed of the [`irregular64`] scaling preset, recorded so the
+/// benchmark and any external reproduction build the identical wiring.
+pub const IRREGULAR64_SEED: u64 = 64;
+
+/// The 64-switch irregular network used by the parallel-scaling benchmark
+/// (`large_load_64sw_par`): [`IrregularSpec::evaluation_default`] geometry
+/// (8-port switches, 4 hosts each → 256 hosts) built from a fixed, recorded
+/// seed. A preset rather than an ad-hoc call site so every consumer —
+/// gauntlet, tests, docs — means the same reproducible topology.
+pub fn irregular64() -> Topology {
+    random_irregular(&IrregularSpec::evaluation_default(64, IRREGULAR64_SEED))
+}
+
 /// Generate a random irregular network in the style of the ITB evaluation
 /// papers: hosts fill the first ports of each switch, then the remaining
 /// ports are cabled switch-to-switch at random — first a random spanning
@@ -467,6 +480,21 @@ mod tests {
                 assert!(used <= 8);
                 assert_eq!(t.hosts_at(s).len(), 4);
             }
+        }
+    }
+
+    #[test]
+    fn irregular64_preset_is_reproducible() {
+        let a = irregular64();
+        a.validate().unwrap();
+        assert_eq!(a.num_switches(), 64);
+        assert_eq!(a.num_hosts(), 256);
+        // The preset is the recorded spec, nothing more.
+        let b = random_irregular(&IrregularSpec::evaluation_default(64, IRREGULAR64_SEED));
+        assert_eq!(a.num_links(), b.num_links());
+        for lid in a.link_ids() {
+            assert_eq!(a.link(lid).a, b.link(lid).a);
+            assert_eq!(a.link(lid).b, b.link(lid).b);
         }
     }
 

@@ -1,0 +1,330 @@
+//! Deterministic graph partitioner for the parallel simulation engine.
+//!
+//! The conservative PDES engine (`itb_sim::par`) shards the cluster by
+//! *switch*: each switch, its input ports, its outgoing cables and every
+//! host attached to it belong to exactly one shard. Host links are never
+//! cut (a host always shards with its switch), so the only cross-shard
+//! traffic is switch-to-switch cables — whose propagation delay is the
+//! engine's free lookahead bound.
+//!
+//! The partitioner must be a pure function of `(topology, shards, seed)`:
+//! the parallel run's event order depends on the shard assignment, and the
+//! determinism contract ("byte-identical to sequential") requires the
+//! assignment itself to be reproducible. Everything here iterates in id
+//! order or seeded-[`SimRng`] order; no hash-map iteration is involved.
+//!
+//! Algorithm: seeded-start BFS over the switch graph produces a locality
+//! preserving visit order; the order is chunked into `shards` contiguous
+//! runs of roughly equal weight (weight = 1 + attached hosts, a proxy for
+//! event volume); a bounded greedy refinement pass then moves boundary
+//! switches to a neighbouring shard when that strictly reduces the edge
+//! cut without unbalancing or emptying a shard.
+
+use crate::{HostId, LinkId, SwitchId, Topology};
+use itb_sim::{narrow, SimDuration, SimRng};
+
+/// A shard assignment of every switch and host, plus the cut summary the
+/// parallel engine needs to derive its lookahead window.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Number of shards actually used (≤ requested; compact ids `0..shards`).
+    pub shards: u32,
+    /// Shard of each switch, indexed by `SwitchId::idx()`.
+    pub shard_of_switch: Vec<u32>,
+    /// Shard of each host, indexed by `HostId::idx()` (always the shard of
+    /// the attachment switch).
+    pub shard_of_host: Vec<u32>,
+    /// Every switch-to-switch link whose endpoints land in different shards,
+    /// in link-id order.
+    pub cut_links: Vec<LinkId>,
+    /// `cut_links.len()` — the metric the refinement pass minimizes.
+    pub edge_cut: usize,
+    /// Minimum propagation delay over the cut links (`None` when nothing is
+    /// cut, i.e. a single shard). Cross-shard events lag the sender by at
+    /// least this plus the first flit's serialization time.
+    pub min_cut_propagation: Option<SimDuration>,
+}
+
+impl Partition {
+    /// Shard owning switch `s`.
+    #[inline]
+    pub fn shard_of(&self, s: SwitchId) -> u32 {
+        self.shard_of_switch[s.idx()]
+    }
+
+    /// Shard owning host `h`.
+    #[inline]
+    pub fn host_shard(&self, h: HostId) -> u32 {
+        self.shard_of_host[h.idx()]
+    }
+
+    /// Per-shard switch weight (1 + attached hosts), for balance reporting.
+    pub fn shard_weights(&self, topo: &Topology) -> Vec<u64> {
+        let mut w = vec![0u64; self.shards as usize];
+        for s in topo.switch_ids() {
+            w[self.shard_of(s) as usize] += switch_weight(topo, s);
+        }
+        w
+    }
+}
+
+/// Event-volume proxy for one switch: itself plus its attached hosts.
+fn switch_weight(topo: &Topology, s: SwitchId) -> u64 {
+    1 + topo.hosts_at(s).len() as u64
+}
+
+/// Partition `topo` into at most `shards` shards, deterministically in
+/// `(topo, shards, seed)`.
+///
+/// `shards` is clamped to `[1, num_switches]`; every produced shard owns at
+/// least one switch.
+///
+/// # Panics
+/// Panics if the topology has no switches.
+pub fn partition(topo: &Topology, shards: usize, seed: u64) -> Partition {
+    let n = topo.num_switches();
+    assert!(n > 0, "cannot partition a topology with no switches");
+    let k = shards.clamp(1, n);
+
+    let weights: Vec<u64> = topo.switch_ids().map(|s| switch_weight(topo, s)).collect();
+    let total: u64 = weights.iter().sum();
+
+    // Seeded-start BFS visit order (locality-preserving, deterministic:
+    // neighbour iteration follows port order).
+    let mut rng = SimRng::new(seed ^ 0x5048_4152_5449_5431); // "PHARTIT1"
+    let start: usize = narrow(rng.below(n as u64));
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back(start);
+    seen[start] = true;
+    while let Some(u) = frontier.pop_front() {
+        order.push(u);
+        for (_, _, v) in topo.switch_neighbors(SwitchId(narrow(u))) {
+            if !seen[v.idx()] {
+                seen[v.idx()] = true;
+                frontier.push_back(v.idx());
+            }
+        }
+        // Validated topologies are connected, but stay total anyway: pull in
+        // the lowest unseen switch if BFS stalls.
+        if frontier.is_empty() && order.len() < n {
+            if let Some(u) = seen.iter().position(|&s| !s) {
+                seen[u] = true;
+                frontier.push_back(u);
+            }
+        }
+    }
+
+    // Chunk the BFS order into k contiguous runs of ~equal weight, re-aiming
+    // the target from what remains before each run so late shards never
+    // starve.
+    let mut shard_of_switch = vec![0u32; n];
+    let mut cur: u32 = 0;
+    let mut acc: u64 = 0;
+    let mut remaining = total;
+    let mut target = remaining.div_ceil(k as u64);
+    for (i, &u) in order.iter().enumerate() {
+        let more_switches = n - i; // switches not yet assigned (incl. u)
+        let shards_left = k as u64 - u64::from(cur);
+        // Open a new shard when the current one met its target — unless
+        // every remaining switch is needed to keep later shards non-empty.
+        if acc >= target && u64::from(cur) + 1 < k as u64 && more_switches as u64 > shards_left - 1
+        {
+            cur += 1;
+            acc = 0;
+            target = remaining.div_ceil(k as u64 - u64::from(cur));
+        }
+        shard_of_switch[u] = cur;
+        acc += weights[u];
+        remaining -= weights[u];
+    }
+    let used = cur + 1;
+
+    // Greedy boundary refinement: move a switch to a neighbouring shard when
+    // that strictly cuts fewer links, stays under the balance ceiling and
+    // leaves no shard empty. Two passes in switch-id order (deterministic).
+    let mut shard_sizes = vec![0usize; used as usize];
+    let mut shard_weights = vec![0u64; used as usize];
+    for u in 0..n {
+        shard_sizes[shard_of_switch[u] as usize] += 1;
+        shard_weights[shard_of_switch[u] as usize] += weights[u];
+    }
+    // Ceiling: 25% over the ideal per-shard weight (integer arithmetic).
+    let max_load = (total * 5).div_ceil(4 * u64::from(used));
+    for _pass in 0..2 {
+        for u in 0..n {
+            let a = shard_of_switch[u];
+            if shard_sizes[a as usize] <= 1 {
+                continue; // would empty shard `a`
+            }
+            // Count links from `u` into each adjacent shard (self-loops are
+            // never cut; skip them).
+            let mut ties: Vec<(u32, usize)> = Vec::new();
+            let mut to_a = 0usize;
+            for (_, _, v) in topo.switch_neighbors(SwitchId(narrow(u))) {
+                if v.idx() == u {
+                    continue;
+                }
+                let b = shard_of_switch[v.idx()];
+                if b == a {
+                    to_a += 1;
+                } else if let Some(t) = ties.iter_mut().find(|t| t.0 == b) {
+                    t.1 += 1;
+                } else {
+                    ties.push((b, 1));
+                }
+            }
+            // Best candidate: most links, lowest shard id on ties (the push
+            // order above already visits lower ports first, but sort anyway
+            // for an explicit deterministic rule).
+            ties.sort_by_key(|&(b, cnt)| (std::cmp::Reverse(cnt), b));
+            if let Some(&(b, cnt)) = ties.first() {
+                if cnt > to_a && shard_weights[b as usize] + weights[u] <= max_load {
+                    shard_of_switch[u] = b;
+                    shard_sizes[a as usize] -= 1;
+                    shard_sizes[b as usize] += 1;
+                    shard_weights[a as usize] -= weights[u];
+                    shard_weights[b as usize] += weights[u];
+                }
+            }
+        }
+    }
+
+    // Hosts follow their attachment switch; host links are never cut.
+    let shard_of_host: Vec<u32> = topo
+        .host_ids()
+        .map(|h| shard_of_switch[topo.host_attachment(h).0.idx()])
+        .collect();
+
+    // Cut summary, in link-id order.
+    let mut cut_links = Vec::new();
+    let mut min_cut_propagation: Option<SimDuration> = None;
+    for lid in topo.link_ids() {
+        let link = topo.link(lid);
+        let (Some(sa), Some(sb)) = (link.a.node.as_switch(), link.b.node.as_switch()) else {
+            continue; // host link: never cut
+        };
+        if shard_of_switch[sa.idx()] != shard_of_switch[sb.idx()] {
+            cut_links.push(lid);
+            min_cut_propagation = Some(match min_cut_propagation {
+                Some(m) if m <= link.propagation => m,
+                _ => link.propagation,
+            });
+        }
+    }
+
+    Partition {
+        shards: used,
+        edge_cut: cut_links.len(),
+        shard_of_switch,
+        shard_of_host,
+        cut_links,
+        min_cut_propagation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let topo = builders::chain(8, 2);
+        let p = partition(&topo, 1, 42);
+        assert_eq!(p.shards, 1);
+        assert_eq!(p.edge_cut, 0);
+        assert!(p.cut_links.is_empty());
+        assert!(p.min_cut_propagation.is_none());
+        assert!(p.shard_of_switch.iter().all(|&s| s == 0));
+        assert!(p.shard_of_host.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn chain_two_shards_cuts_one_link() {
+        let topo = builders::chain(8, 1);
+        let p = partition(&topo, 2, 7);
+        assert_eq!(p.shards, 2);
+        assert_eq!(p.edge_cut, 1, "a chain split in two cuts exactly one cable");
+        assert!(p.min_cut_propagation.is_some());
+    }
+
+    #[test]
+    fn every_switch_and_host_assigned_within_bounds() {
+        let spec = builders::IrregularSpec::evaluation_default(16, 99);
+        let topo = builders::random_irregular(&spec);
+        let p = partition(&topo, 4, 3);
+        assert!(p.shards <= 4 && p.shards >= 1);
+        assert_eq!(p.shard_of_switch.len(), topo.num_switches());
+        assert_eq!(p.shard_of_host.len(), topo.num_hosts());
+        assert!(p.shard_of_switch.iter().all(|&s| s < p.shards));
+        // Hosts shard with their attachment switch.
+        for h in topo.host_ids() {
+            let (s, _) = topo.host_attachment(h);
+            assert_eq!(p.host_shard(h), p.shard_of(s));
+        }
+        // Every shard owns at least one switch.
+        let mut seen = vec![false; p.shards as usize];
+        for &s in &p.shard_of_switch {
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_sensitive_to_seed_or_shards() {
+        let spec = builders::IrregularSpec::evaluation_default(32, 5);
+        let topo = builders::random_irregular(&spec);
+        let a = partition(&topo, 4, 11);
+        let b = partition(&topo, 4, 11);
+        assert_eq!(a.shard_of_switch, b.shard_of_switch);
+        assert_eq!(a.shard_of_host, b.shard_of_host);
+        assert_eq!(a.cut_links, b.cut_links);
+        let c = partition(&topo, 2, 11);
+        assert!(c.shards <= 2);
+    }
+
+    #[test]
+    fn shards_clamped_to_switch_count() {
+        let topo = builders::chain(3, 1);
+        let p = partition(&topo, 16, 0);
+        assert!(p.shards <= 3);
+        let mut seen = vec![false; p.shards as usize];
+        for &s in &p.shard_of_switch {
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "compact shard ids, none empty");
+    }
+
+    #[test]
+    fn cut_propagation_never_below_global_min_link_latency() {
+        let spec = builders::IrregularSpec::evaluation_default(24, 77);
+        let topo = builders::random_irregular(&spec);
+        let p = partition(&topo, 4, 1);
+        if let Some(m) = p.min_cut_propagation {
+            let global_min = topo
+                .link_ids()
+                .map(|l| topo.link(l).propagation)
+                .min()
+                .expect("topology has links");
+            assert!(m >= global_min);
+        }
+    }
+
+    #[test]
+    fn weights_roughly_balanced() {
+        let spec = builders::IrregularSpec::evaluation_default(64, 2);
+        let topo = builders::random_irregular(&spec);
+        let p = partition(&topo, 4, 9);
+        let w = p.shard_weights(&topo);
+        let total: u64 = w.iter().sum();
+        let ceiling = (total * 5).div_ceil(4 * u64::from(p.shards)) + 5;
+        for &x in &w {
+            assert!(
+                x <= ceiling,
+                "shard weight {x} over ceiling {ceiling}: {w:?}"
+            );
+        }
+    }
+}

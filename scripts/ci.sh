@@ -41,7 +41,9 @@ chaos_a=$(mktemp -d)
 chaos_b=$(mktemp -d)
 perf_a=$(mktemp -d)
 perf_b=$(mktemp -d)
-trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b"' EXIT
+par_a=$(mktemp -d)
+par_b=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b"' EXIT
 ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
 echo "== chaos determinism (same seed twice, byte-identical artifact) =="
 ITB_RESULTS_DIR="$chaos_b" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
@@ -54,5 +56,18 @@ echo "== perf smoke (tiny gauntlet, deterministic digest twice) =="
 ITB_RESULTS_DIR="$perf_a" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
 ITB_RESULTS_DIR="$perf_b" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
 cmp "$perf_a/perf_gauntlet_digest.json" "$perf_b/perf_gauntlet_digest.json"
+
+echo "== parallel determinism (ITB_THREADS=1 vs 4, byte-identical digest) =="
+# The sharded conservative-PDES engine must reproduce the sequential event
+# order exactly: same scenarios, 1 thread vs 4 shards, digest byte-compare.
+# In-process equivalence is always covered by tests/par_equivalence.rs; the
+# cross-process 4-thread gauntlet run only makes sense with real cores.
+if [ "$(nproc)" -ge 4 ]; then
+  ITB_RESULTS_DIR="$par_a" ITB_THREADS=1 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+  ITB_RESULTS_DIR="$par_b" ITB_THREADS=4 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+  cmp "$par_a/perf_gauntlet_digest.json" "$par_b/perf_gauntlet_digest.json"
+else
+  echo "   skipped: $(nproc) core(s) < 4 (equivalence still enforced in-process by tests/par_equivalence.rs)"
+fi
 
 echo "CI OK"

@@ -1,0 +1,96 @@
+//! Parallel/sequential equivalence: the sharded conservative-PDES engine
+//! must reproduce the sequential run's observable totals exactly, for any
+//! shard count. This is the determinism contract `scripts/ci.sh` enforces
+//! on the perf-gauntlet digest; here it is checked in-process at 1, 2 and
+//! 4 shards against the plain `run_until` loop.
+
+use itb_myrinet::core::{ClusterSpec, RoutingPolicy};
+use itb_myrinet::gm::AppBehavior;
+use itb_myrinet::sim::{run_until, EventQueue, SimDuration, SimTime};
+
+/// Observable digest of one run: everything the perf-gauntlet digest
+/// records about a load scenario.
+#[derive(Debug, PartialEq, Eq)]
+struct Digest {
+    events: u64,
+    sim_ps: u64,
+    delivered: u64,
+    injected: u64,
+}
+
+fn load_spec(switches: usize) -> (ClusterSpec, Vec<AppBehavior>) {
+    let spec = ClusterSpec::irregular(switches, 1).with_routing(RoutingPolicy::Itb);
+    let n = spec.num_hosts();
+    let behaviors = vec![
+        AppBehavior::Poisson {
+            size: 512,
+            mean_gap: SimDuration::from_us(40),
+            limit: 0,
+        };
+        n
+    ];
+    (spec, behaviors)
+}
+
+fn sequential_digest(spec: &ClusterSpec, behaviors: &[AppBehavior], horizon: SimTime) -> Digest {
+    let mut cluster = spec.build(behaviors.to_vec());
+    let mut q = EventQueue::new();
+    cluster.start(&mut q);
+    run_until(&mut cluster, &mut q, horizon);
+    Digest {
+        events: q.events_dispatched(),
+        sim_ps: q.now().as_ps(),
+        delivered: cluster.delivered_count() as u64,
+        injected: cluster.net.stats().injected,
+    }
+}
+
+fn parallel_digest(
+    spec: &ClusterSpec,
+    behaviors: &[AppBehavior],
+    threads: u32,
+    horizon: SimTime,
+) -> Digest {
+    let report = spec.run_parallel(behaviors.to_vec(), threads, horizon);
+    Digest {
+        events: report.events,
+        sim_ps: report.sim_time.as_ps(),
+        delivered: report.delivered,
+        injected: report.injected,
+    }
+}
+
+#[test]
+fn sharded_run_matches_sequential_totals() {
+    let (spec, behaviors) = load_spec(8);
+    let horizon = SimTime::ZERO + SimDuration::from_us(150);
+    let seq = sequential_digest(&spec, &behaviors, horizon);
+    // A trivially empty run would make the equivalence vacuous.
+    assert!(seq.delivered > 0, "scenario must deliver traffic: {seq:?}");
+    assert!(seq.injected > 0);
+
+    for threads in [1u32, 2, 4] {
+        let par = parallel_digest(&spec, &behaviors, threads, horizon);
+        assert_eq!(par, seq, "{threads}-shard run diverged from sequential");
+    }
+}
+
+#[test]
+fn sharded_run_is_reproducible() {
+    let (spec, behaviors) = load_spec(8);
+    let horizon = SimTime::ZERO + SimDuration::from_us(100);
+    let a = parallel_digest(&spec, &behaviors, 4, horizon);
+    let b = parallel_digest(&spec, &behaviors, 4, horizon);
+    assert_eq!(a, b, "same seed, same shard count must reproduce exactly");
+}
+
+#[test]
+fn shard_count_clamps_to_topology() {
+    // More requested shards than switches: the partitioner clamps, the run
+    // still matches sequential.
+    let (spec, behaviors) = load_spec(4);
+    let horizon = SimTime::ZERO + SimDuration::from_us(80);
+    let seq = sequential_digest(&spec, &behaviors, horizon);
+    let par = parallel_digest(&spec, &behaviors, 16, horizon);
+    assert_eq!(par, seq);
+}
