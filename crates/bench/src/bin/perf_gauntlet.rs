@@ -201,11 +201,16 @@ struct ParScenario {
     windows: u64,
     per_shard_events: Vec<u64>,
     events: u64,
+    /// Cross-shard rank ties over all shard queues; 0 proves the run
+    /// followed the sequential event order exactly (see `itb_sim::par`).
+    cross_shard_ties: u64,
     wall_s: f64,
     events_per_sec: f64,
-    /// Wall-clock speedup against the 1-thread run of the same scenario in
-    /// this same gauntlet invocation (1.0 for the 1-thread run itself).
-    speedup_vs_t1: f64,
+    /// Wall-clock speedup against the run of this same scenario in this
+    /// same gauntlet invocation whose `threads == 1`; `null` when the
+    /// invocation included no 1-thread run (e.g. `--smoke` with
+    /// `ITB_THREADS > 1`), because there is then no honest baseline.
+    speedup_vs_t1: Option<f64>,
 }
 
 /// The Poisson-load spec shared by the large-fabric scenarios.
@@ -271,11 +276,25 @@ fn measure_par(
         windows: report.windows,
         per_shard_events: report.per_shard_events.clone(),
         events: report.events,
+        cross_shard_ties: report.cross_shard_ties,
         wall_s,
         events_per_sec,
-        speedup_vs_t1: 1.0,
+        speedup_vs_t1: None,
     };
     (scenario, report, par)
+}
+
+/// Fill in `speedup_vs_t1` across one scenario's runs: the baseline is the
+/// run that actually used one thread, wherever it sits in the sweep. With
+/// no 1-thread run in the batch the field stays `null` — never a speedup
+/// of a run against itself.
+fn fill_speedups(runs: &mut [ParScenario]) {
+    let Some(base) = runs.iter().find(|r| r.threads == 1).map(|r| r.wall_s) else {
+        return;
+    };
+    for r in runs.iter_mut() {
+        r.speedup_vs_t1 = Some(base / r.wall_s.max(1e-9));
+    }
 }
 
 /// The large-topology scenario the BENCH_perf trajectory gates on: a
@@ -313,11 +332,10 @@ fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<Pa
     let mut runs: Vec<ParScenario> = Vec::new();
     let mut digest_scenario: Option<ScenarioReport> = None;
     for &t in sweep {
-        let (scenario, _report, mut par) =
+        let (scenario, _report, par) =
             measure_par("large_load_64sw_par", &spec, &behaviors, t, horizon);
         match &digest_scenario {
             Some(d0) => {
-                par.speedup_vs_t1 = runs[0].wall_s / par.wall_s.max(1e-9);
                 assert_eq!(
                     (scenario.events, scenario.delivered, scenario.injected),
                     (d0.events, d0.delivered, d0.injected),
@@ -327,10 +345,16 @@ fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<Pa
             None => digest_scenario = Some(scenario),
         }
         eprintln!(
-            "  64sw t={t}: shards={} cut={} windows={} wall={:.3}s speedup={:.2}x",
-            par.shards, par.edge_cut, par.windows, par.wall_s, par.speedup_vs_t1
+            "  64sw t={t}: shards={} cut={} windows={} ties={} wall={:.3}s",
+            par.shards, par.edge_cut, par.windows, par.cross_shard_ties, par.wall_s
         );
         runs.push(par);
+    }
+    fill_speedups(&mut runs);
+    for r in &runs {
+        if let Some(s) = r.speedup_vs_t1 {
+            eprintln!("  64sw t={}: speedup={s:.2}x vs t=1", r.threads);
+        }
     }
     (digest_scenario.expect("sweep is non-empty"), runs)
 }

@@ -113,18 +113,23 @@ pub struct DeliveryNotice {
     pub msg_id: u32,
     /// Original sender (owner of the record).
     pub from: HostId,
-    /// Capture sequence on the notifying shard (merge tie-break).
+    /// Capture sequence on the notifying shard (merge tie-break), allocated
+    /// from the shard's single envelope counter — shared with net handoffs
+    /// so merge keys are globally unique.
     pub seq: u64,
 }
 
 /// Sharded-run identity of a cluster replica (None = sequential).
+///
+/// Notice capture sequences come from the network's single per-shard
+/// envelope counter ([`Network::alloc_handoff_seq`]) so notice and net
+/// handoff merge keys never collide.
 struct GmShardInfo {
     me: u32,
     /// Owner shard per host (copied from the partition).
     host_shard: Vec<u32>,
     /// Per-destination-shard delivery notices captured this window.
     notices: Vec<Vec<DeliveryNotice>>,
-    notice_seq: u64,
 }
 
 /// One application-level message's life record.
@@ -302,7 +307,6 @@ impl Cluster {
             me,
             host_shard: part.shard_of_host.clone(),
             notices: (0..part.shards).map(|_| Vec::new()).collect(),
-            notice_seq: 0,
         });
     }
 
@@ -843,12 +847,12 @@ impl Cluster {
                 if owner == s.me {
                     true
                 } else {
-                    s.notice_seq += 1;
+                    let seq = self.net.alloc_handoff_seq();
                     s.notices[owner as usize].push(DeliveryNotice {
                         at: now,
                         msg_id,
                         from,
-                        seq: s.notice_seq,
+                        seq,
                     });
                     false
                 }

@@ -479,6 +479,22 @@ impl Network {
         });
     }
 
+    /// Allocate a capture-sequence number from this shard's *single*
+    /// envelope counter. Cross-shard delivery notices (captured by the GM
+    /// layer) draw from the same counter as net handoffs, so every envelope
+    /// a shard emits carries a globally unique
+    /// `(fire time, rank time, shard, seq)` merge key — the uniqueness the
+    /// parallel merge order is documented to rely on.
+    ///
+    /// # Panics
+    /// Panics outside sharded mode (sequential runs never capture).
+    pub fn alloc_handoff_seq(&mut self) -> u64 {
+        // detlint::allow(S001, callers capture cross-shard envelopes, which only exist after set_shard_ctx installed the context)
+        let s = self.shard.as_mut().expect("sharded mode only");
+        s.out_seq += 1;
+        s.out_seq
+    }
+
     /// Drain the handoffs captured for shard `dst` during the current
     /// window, in capture (= deterministic execution) order.
     pub fn take_net_outbox(&mut self, dst: u32) -> Vec<NetHandoff> {

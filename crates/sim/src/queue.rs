@@ -73,6 +73,12 @@ pub struct EventQueue<E> {
     /// parallel engine sets each shard's own id so same-picosecond events
     /// from different shards merge in a fixed order.
     rank_base: u64,
+    /// Key of the most recently popped entry (see
+    /// [`EventQueue::cross_shard_ties`]).
+    last_pop: Option<(SimTime, SimTime, u64)>,
+    /// Count of pops whose `(time, rank_time)` equalled the previous pop's
+    /// while the shard bits of `rank` differed.
+    cross_shard_ties: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -90,6 +96,8 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             popped: 0,
             rank_base: 0,
+            last_pop: None,
+            cross_shard_ties: 0,
         }
     }
 
@@ -200,9 +208,35 @@ impl<E> EventQueue<E> {
             self.sift_down(0);
         }
         debug_assert!(entry.time >= self.now);
+        // Entries sharing (time, rank_time) are contiguous in pop order, so
+        // comparing each pop against only its predecessor sees every pair
+        // of tied entries; differing shard bits flag a cross-shard tie.
+        if let Some((t, rt, r)) = self.last_pop {
+            if t == entry.time
+                && rt == entry.rank_time
+                && (r >> SEQ_BITS) != (entry.rank >> SEQ_BITS)
+            {
+                self.cross_shard_ties += 1;
+            }
+        }
+        self.last_pop = Some((entry.time, entry.rank_time, entry.rank));
         self.now = entry.time;
         self.popped += 1;
         Some((entry.time, entry.event))
+    }
+
+    /// Number of *cross-shard rank ties* dispatched so far: consecutive pops
+    /// with identical `(time, rank_time)` whose ranks came from different
+    /// shards.
+    ///
+    /// Such a pair is the one place where the parallel engine's tie-break
+    /// (shard id) can differ from the sequential engine's (global schedule
+    /// order), so `cross_shard_ties == 0` across every shard queue *proves*
+    /// the run dispatched events in exactly the sequential order. Always 0
+    /// in sequential runs (every rank carries shard 0).
+    #[inline]
+    pub fn cross_shard_ties(&self) -> u64 {
+        self.cross_shard_ties
     }
 
     /// Timestamp of the next event without popping it.
@@ -382,6 +416,39 @@ mod tests {
         q.schedule(SimTime::from_ns(1), "a");
         assert_eq!(q.pop().unwrap().1, "a");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn sequential_runs_never_count_cross_shard_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..50 {
+            q.schedule(t, i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.cross_shard_ties(), 0, "shard bits are uniformly 0");
+    }
+
+    #[test]
+    fn cross_shard_rank_ties_are_detected() {
+        let mut q = EventQueue::new();
+        q.set_shard_rank(1);
+        let t = SimTime::from_ns(10);
+        let rt = SimTime::ZERO;
+        // Local entry (shard 1) and an absorbed remote entry (shard 2) tied
+        // on (time, rank_time): the pair the parallel tie-break can order
+        // differently than the sequential run.
+        q.schedule(t, "local");
+        q.schedule_ranked(t, rt, 2, "remote");
+        assert_eq!(q.pop().unwrap().1, "local");
+        assert_eq!(q.pop().unwrap().1, "remote");
+        assert_eq!(q.cross_shard_ties(), 1);
+        // Different rank_time is not a tie: the order is forced either way.
+        // ("a" is stamped rank_time = now = 10 ns here.)
+        q.schedule(SimTime::from_ns(20), "a");
+        q.schedule_ranked(SimTime::from_ns(20), SimTime::from_ns(5), 2, "b");
+        while q.pop().is_some() {}
+        assert_eq!(q.cross_shard_ties(), 1);
     }
 
     #[test]

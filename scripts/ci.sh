@@ -59,15 +59,14 @@ cmp "$perf_a/perf_gauntlet_digest.json" "$perf_b/perf_gauntlet_digest.json"
 
 echo "== parallel determinism (ITB_THREADS=1 vs 4, byte-identical digest) =="
 # The sharded conservative-PDES engine must reproduce the sequential event
-# order exactly: same scenarios, 1 thread vs 4 shards, digest byte-compare.
-# In-process equivalence is always covered by tests/par_equivalence.rs; the
-# cross-process 4-thread gauntlet run only makes sense with real cores.
-if [ "$(nproc)" -ge 4 ]; then
-  ITB_RESULTS_DIR="$par_a" ITB_THREADS=1 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
-  ITB_RESULTS_DIR="$par_b" ITB_THREADS=4 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
-  cmp "$par_a/perf_gauntlet_digest.json" "$par_b/perf_gauntlet_digest.json"
-else
-  echo "   skipped: $(nproc) core(s) < 4 (equivalence still enforced in-process by tests/par_equivalence.rs)"
-fi
+# order exactly on the gauntlet workloads: same scenarios, 1 thread vs 4
+# shards, digest byte-compare. This gate runs on ANY core count — the
+# workers synchronize on barriers, so a 4-shard run on fewer than 4 cores
+# is merely slow (the smoke workloads are tiny), never incorrect; skipping
+# here on small boxes previously left the cross-process contract unchecked
+# on the very machines producing committed results.
+ITB_RESULTS_DIR="$par_a" ITB_THREADS=1 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+ITB_RESULTS_DIR="$par_b" ITB_THREADS=4 cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
+cmp "$par_a/perf_gauntlet_digest.json" "$par_b/perf_gauntlet_digest.json"
 
 echo "CI OK"
