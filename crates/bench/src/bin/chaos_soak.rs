@@ -4,11 +4,14 @@
 //! audit that GM's reliability layer still delivered every message exactly
 //! once and in order.
 //!
-//! `cargo run --release -p itb-bench --bin chaos_soak [--smoke]`
+//! `cargo run --release -p itb-bench --bin chaos_soak [--smoke] [--strict-health]`
 //!
-//! `--smoke` runs a short deterministic schedule for CI; the artifact
-//! (`results/chaos_soak.json`) is byte-identical across runs of the same
-//! mode, which the CI determinism check relies on.
+//! `--smoke` runs a short deterministic schedule for CI; the artifacts
+//! (`results/chaos_soak.json`, `results/chaos_timeline.jsonl`,
+//! `results/health_report.json`) are byte-identical across runs of the same
+//! mode, which the CI determinism check relies on. `--strict-health` exits
+//! nonzero when the health report is unhealthy (in addition to the always-on
+//! assertion), making the run a CI health gate.
 
 use itb_core::ClusterSpec;
 use itb_gm::AppBehavior;
@@ -31,6 +34,7 @@ fn fault_plan(tb: &itb_topo::builders::Fig6Testbed) -> FaultPlan {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let strict_health = std::env::args().any(|a| a == "--strict-health");
     let count: u32 = if smoke { 40 } else { 400 };
     let size: u32 = 1024;
     let horizon = SimTime::from_ms(if smoke { 500 } else { 5000 });
@@ -66,6 +70,12 @@ fn main() {
         plan.seed
     );
     let mut c = spec.build(behaviors);
+    // Sample every 100 µs of sim time. The stall budget must exceed the
+    // worst quiet stretch a *healthy* chaos run produces — retransmission
+    // backoff caps at 32 ms, so 50 ms of silence with traffic pending is a
+    // genuine stall, not patience.
+    c.enable_timeline(SimDuration::from_us(100));
+    c.enable_health(SimDuration::from_us(100), SimDuration::from_ms(50));
     let mut q = EventQueue::new();
     c.start(&mut q);
     // Advance in slices so the run stops soon after the last delivery (or
@@ -163,5 +173,37 @@ fn main() {
             in_order: true,
             counters: snap.counters.clone(),
         },
+    );
+
+    // ---- timeline + health artifacts -------------------------------------
+    let timeline = c.take_timeline().expect("timeline was enabled");
+    println!(
+        "timeline samples     : {} ({} ns cadence)",
+        timeline.len(),
+        timeline.interval_ns()
+    );
+    itb_bench::dump_stream("chaos_timeline.jsonl", |w| timeline.write_jsonl(w));
+    let report = c.health_report(now).expect("health was enabled");
+    itb_bench::dump_stream("health_report.json", |w| report.write_json(w));
+    println!(
+        "health               : {} ({} samples, {} buffers audited, {} violation(s))",
+        if report.healthy { "clean" } else { "UNHEALTHY" },
+        report.samples,
+        report.buffers_audited,
+        report.violations.len()
+    );
+    if !report.healthy {
+        for v in &report.violations {
+            eprintln!("health violation: [{}] {}", v.check, v.detail);
+        }
+        if strict_health {
+            eprintln!("--strict-health: failing the run");
+            std::process::exit(1);
+        }
+    }
+    assert!(
+        report.healthy,
+        "the chaos schedule must stay health-clean: {:?}",
+        report.violations
     );
 }

@@ -5,7 +5,7 @@
 //! `cargo run --release -p itb-bench --bin fig7 [iters]`
 
 use itb_core::experiments::{fig7, traced_one_way};
-use itb_obs::export::{to_chrome_trace, to_jsonl};
+use itb_obs::export::{write_chrome_trace, write_jsonl};
 use itb_obs::Attribution;
 
 fn main() {
@@ -80,6 +80,8 @@ fn main() {
         "traced 64 B message on the UD route: {:.0} ns end to end, {itb:.0} ns in ITB firmware",
         e2e
     );
-    itb_bench::dump_text("fig7_trace.jsonl", &to_jsonl(&run.tracer));
-    itb_bench::dump_text("fig7_trace_chrome.json", &to_chrome_trace(&run.tracer));
+    itb_bench::dump_stream("fig7_trace.jsonl", |w| write_jsonl(&run.tracer, w));
+    itb_bench::dump_stream("fig7_trace_chrome.json", |w| {
+        write_chrome_trace(&run.tracer, w)
+    });
 }

@@ -5,7 +5,7 @@
 //! `cargo run --release -p itb-bench --bin fig8 [iters]`
 
 use itb_core::experiments::{fig8, traced_one_way};
-use itb_obs::export::{to_chrome_trace, to_jsonl};
+use itb_obs::export::{write_chrome_trace, write_jsonl};
 
 fn main() {
     let iters: u32 = std::env::args()
@@ -78,7 +78,9 @@ fn main() {
             .map(|&(cat, ns)| (cat.as_str().to_string(), ns))
             .collect::<Vec<_>>(),
     );
-    itb_bench::dump_text("fig8_trace.jsonl", &to_jsonl(&run.tracer));
-    itb_bench::dump_text("fig8_trace_chrome.json", &to_chrome_trace(&run.tracer));
+    itb_bench::dump_stream("fig8_trace.jsonl", |w| write_jsonl(&run.tracer, w));
+    itb_bench::dump_stream("fig8_trace_chrome.json", |w| {
+        write_chrome_trace(&run.tracer, w)
+    });
     itb_bench::dump_json("fig8_metrics", &run.snapshot);
 }

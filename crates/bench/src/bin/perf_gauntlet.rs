@@ -22,7 +22,9 @@
 use itb_core::ClusterSpec;
 use itb_gm::{AppBehavior, Cluster, ClusterEvent, ParRunReport};
 use itb_nic::McpFlavor;
+use itb_obs::export::{write_par_windows_chrome_trace, ParTraceMeta};
 use itb_routing::{figures, RoutingPolicy};
+use itb_sim::par::{ParProfile, WindowRecord};
 use itb_sim::{run_until, run_while, EventQueue, SimDuration, SimTime};
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -238,7 +240,13 @@ fn measure_par(
     behaviors: &[AppBehavior],
     threads: u32,
     horizon: SimTime,
-) -> (ScenarioReport, ParRunReport, ParScenario) {
+    profile: bool,
+) -> (
+    ScenarioReport,
+    ParRunReport,
+    ParScenario,
+    Option<ParProfile>,
+) {
     // Partitioning and replica construction stay outside the timed
     // section, mirroring the sequential scenarios (which build and start
     // their cluster before `measure`).
@@ -250,7 +258,16 @@ fn measure_par(
     let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
     // detlint::allow(D002, wall-clock section: Mev/s and allocs/packet are host-side metrics)
     let t0 = Instant::now();
-    let (_worlds, report) = itb_gm::run_cluster_shards(replicas, &part, horizon);
+    let (report, prof) = if profile {
+        // The profiled engine carries the per-window stopwatch; its record
+        // memory and clock reads land inside the timed section on purpose —
+        // the sidecar says what profiling itself costs.
+        let (_worlds, report, prof) = itb_gm::run_cluster_shards_profiled(replicas, &part, horizon);
+        (report, Some(prof))
+    } else {
+        let (_worlds, report) = itb_gm::run_cluster_shards(replicas, &part, horizon);
+        (report, None)
+    };
     let wall_s = t0.elapsed().as_secs_f64();
     let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
     let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
@@ -281,7 +298,7 @@ fn measure_par(
         events_per_sec,
         speedup_vs_t1: None,
     };
-    (scenario, report, par)
+    (scenario, report, par, prof)
 }
 
 /// Fill in `speedup_vs_t1` across one scenario's runs: the baseline is the
@@ -306,8 +323,14 @@ fn large_load_32sw(window_us: u64, threads: u32) -> (ScenarioReport, Option<ParS
     let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
     if threads > 1 {
         let (spec, behaviors) = load_spec(32);
-        let (scenario, _, par) =
-            measure_par("large_load_32sw", &spec, &behaviors, threads, horizon);
+        let (scenario, _, par, _) = measure_par(
+            "large_load_32sw",
+            &spec,
+            &behaviors,
+            threads,
+            horizon,
+            false,
+        );
         return (scenario, Some(par));
     }
     let (spec, behaviors) = load_spec(32);
@@ -322,18 +345,41 @@ fn large_load_32sw(window_us: u64, threads: u32) -> (ScenarioReport, Option<ParS
     )
 }
 
+/// A profiled parallel run, kept for the window-utilization sidecars: the
+/// per-window records plus the aggregate numbers the gantt metadata needs.
+struct ProfiledRun {
+    threads: u32,
+    profile: ParProfile,
+    cross_shard_ties: u64,
+    per_shard_events: Vec<u64>,
+}
+
 /// The linear-scaling study: the 64-switch irregular preset (256 hosts)
 /// under the same Poisson load, run across a thread sweep. The 1-thread
 /// run provides the digest scenario; every run lands in the par report
-/// with its wall-clock speedup over the 1-thread run.
-fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<ParScenario>) {
+/// with its wall-clock speedup over the 1-thread run. The run whose thread
+/// count matches `profile_threads` goes through the profiled engine and
+/// comes back with its per-(shard, window) records.
+fn large_load_64sw_par(
+    window_us: u64,
+    sweep: &[u32],
+    profile_threads: u32,
+) -> (ScenarioReport, Vec<ParScenario>, Option<ProfiledRun>) {
     let (spec, behaviors) = load_spec(64);
     let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
     let mut runs: Vec<ParScenario> = Vec::new();
     let mut digest_scenario: Option<ScenarioReport> = None;
+    let mut profiled: Option<ProfiledRun> = None;
     for &t in sweep {
-        let (scenario, _report, par) =
-            measure_par("large_load_64sw_par", &spec, &behaviors, t, horizon);
+        let profile = t == profile_threads && profiled.is_none();
+        let (scenario, report, par, prof) = measure_par(
+            "large_load_64sw_par",
+            &spec,
+            &behaviors,
+            t,
+            horizon,
+            profile,
+        );
         match &digest_scenario {
             Some(d0) => {
                 assert_eq!(
@@ -345,9 +391,22 @@ fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<Pa
             None => digest_scenario = Some(scenario),
         }
         eprintln!(
-            "  64sw t={t}: shards={} cut={} windows={} ties={} wall={:.3}s",
-            par.shards, par.edge_cut, par.windows, par.cross_shard_ties, par.wall_s
+            "  64sw t={t}: shards={} cut={} windows={} ties={} wall={:.3}s{}",
+            par.shards,
+            par.edge_cut,
+            par.windows,
+            par.cross_shard_ties,
+            par.wall_s,
+            if profile { " [profiled]" } else { "" }
         );
+        if let Some(profile) = prof {
+            profiled = Some(ProfiledRun {
+                threads: t,
+                profile,
+                cross_shard_ties: report.cross_shard_ties,
+                per_shard_events: report.per_shard_events.clone(),
+            });
+        }
         runs.push(par);
     }
     fill_speedups(&mut runs);
@@ -356,7 +415,7 @@ fn large_load_64sw_par(window_us: u64, sweep: &[u32]) -> (ScenarioReport, Vec<Pa
             eprintln!("  64sw t={}: speedup={s:.2}x vs t=1", r.threads);
         }
     }
-    (digest_scenario.expect("sweep is non-empty"), runs)
+    (digest_scenario.expect("sweep is non-empty"), runs, profiled)
 }
 
 #[derive(Debug, Serialize)]
@@ -404,7 +463,15 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
     let (ll32, mut par_runs_opt) = large_load_32sw(window_us, threads);
-    let (ll64, sweep_runs) = large_load_64sw_par(par_window_us, &sweep);
+    // Profile the sweep run matching ITB_THREADS; when the env choice is
+    // not in the sweep (full mode with an off-sweep ITB_THREADS), profile
+    // the widest run so the sidecar always exists.
+    let profile_threads = if sweep.contains(&threads) {
+        threads
+    } else {
+        *sweep.last().expect("sweep is non-empty")
+    };
+    let (ll64, sweep_runs, profiled) = large_load_64sw_par(par_window_us, &sweep, profile_threads);
     let mut par_runs: Vec<ParScenario> = par_runs_opt.take().into_iter().collect();
     par_runs.extend(sweep_runs);
     let scenarios = vec![
@@ -446,12 +513,85 @@ fn main() {
         runs: par_runs,
     };
     itb_bench::dump_json("perf_gauntlet_par", &par_report);
+    if let Some(p) = profiled {
+        dump_profile(if smoke { "smoke" } else { "full" }, p);
+    }
 
     // The committed trajectory: full runs append/update their labelled
     // entry so each PR's speedup is measured against the recorded baseline.
     if !smoke {
         update_bench_perf(&label, &scenarios);
     }
+}
+
+/// Detailed-record cap for the profiler sidecar: full-mode sweeps execute
+/// tens of thousands of windows and the point of the sidecar is barrier /
+/// utilization *shape*, not an unbounded dump. Truncation is never silent —
+/// the artifact records both counts and the run log says what was dropped.
+const PROFILE_RECORD_CAP: usize = 2000;
+
+/// The PDES profiler sidecar written to `results/perf_gauntlet_profile.json`.
+/// The barrier wall-ns fields are honest host-clock measurements and vary
+/// run to run, so this artifact (and the window gantt next to it) is never
+/// part of the CI byte-compares — those gate on the digest and par reports.
+#[derive(Debug, Serialize)]
+struct ProfileArtifact {
+    mode: &'static str,
+    scenario: &'static str,
+    threads: u32,
+    shards: usize,
+    records_total: usize,
+    records_written: usize,
+    truncated: bool,
+    records: Vec<WindowRecord>,
+}
+
+/// Write the profiler sidecars for the one profiled run: the JSON record
+/// dump and the Chrome `trace_event` window gantt (one lane per shard; load
+/// it in Perfetto / `chrome://tracing` to see window utilization).
+fn dump_profile(mode: &'static str, p: ProfiledRun) {
+    let ProfiledRun {
+        threads,
+        mut profile,
+        cross_shard_ties,
+        per_shard_events,
+    } = p;
+    let records_total = profile.records.len();
+    let truncated = records_total > PROFILE_RECORD_CAP;
+    if truncated {
+        // Keep a *time prefix*, not a record prefix: records sort by
+        // (shard, window), so a plain truncate would keep only shard 0 and
+        // the gantt would lose every other lane. Capping the window ordinal
+        // keeps the same leading stretch of the run on all shards.
+        let windows_keep = (PROFILE_RECORD_CAP / per_shard_events.len().max(1)) as u64;
+        profile.records.retain(|r| r.window < windows_keep);
+        eprintln!(
+            "  profiler: keeping the first {windows_keep} windows on every shard — {} of \
+             {records_total} records ({} dropped from the sidecar and gantt)",
+            profile.records.len(),
+            records_total - profile.records.len()
+        );
+    }
+    let meta = ParTraceMeta {
+        cross_shard_ties,
+        per_shard_events: per_shard_events.clone(),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        threads,
+    };
+    itb_bench::dump_stream("perf_gauntlet_windows_trace.json", |w| {
+        write_par_windows_chrome_trace(&profile.records, &meta, w)
+    });
+    let artifact = ProfileArtifact {
+        mode,
+        scenario: "large_load_64sw_par",
+        threads,
+        shards: per_shard_events.len(),
+        records_total,
+        records_written: profile.records.len(),
+        truncated,
+        records: profile.records,
+    };
+    itb_bench::dump_json("perf_gauntlet_profile", &artifact);
 }
 
 /// One trajectory entry of `BENCH_perf.json`, serialized on a single line

@@ -38,6 +38,27 @@ pub fn dump_text(file: &str, contents: &str) {
     println!("[wrote {}]", path.display());
 }
 
+/// Stream an artifact to `results/<file>` through a `BufWriter`, for
+/// exporters that emit many small writes (timeline JSONL, Chrome traces,
+/// health reports). The closure writes into the buffered sink; creation,
+/// write and flush errors all panic with the offending path, like
+/// [`dump_text`].
+pub fn dump_stream(
+    file: &str,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) {
+    use std::io::Write;
+    let path = results_dir().join(file);
+    let fail = |e: std::io::Error| -> ! {
+        // detlint::allow(S001, the bench harness aborts if the results file cannot be written)
+        panic!("cannot write result file {}: {e}", path.display())
+    };
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap_or_else(|e| fail(e)));
+    write(&mut w).unwrap_or_else(|e| fail(e));
+    w.flush().unwrap_or_else(|e| fail(e));
+    println!("[wrote {}]", path.display());
+}
+
 /// Format a right-aligned row of f64 cells with the given width/precision.
 pub fn row(cells: &[f64], width: usize, prec: usize) -> String {
     cells
@@ -131,13 +152,21 @@ mod tests {
     // run concurrently as separate #[test]s.
     #[test]
     fn dump_json_writes_file_and_errors_name_the_path() {
+        use std::io::Write;
         std::env::set_var("ITB_RESULTS_DIR", "/tmp/itb-bench-test-results");
         dump_json("unit_test", &vec![1, 2, 3]);
         dump_text("unit_test.jsonl", "{\"a\":1}\n");
+        dump_stream("unit_test_stream.jsonl", |w| {
+            w.write_all(b"{\"line\":1}\n")?;
+            w.write_all(b"{\"line\":2}\n")
+        });
         let s = std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test.json").unwrap();
         assert!(s.contains('1'));
         let s = std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test.jsonl").unwrap();
         assert!(s.ends_with('\n'));
+        let s =
+            std::fs::read_to_string("/tmp/itb-bench-test-results/unit_test_stream.jsonl").unwrap();
+        assert_eq!(s.lines().count(), 2, "buffered writes must be flushed");
 
         // An unusable results dir (a path under a regular file) must panic
         // with a message that names the offending path.
@@ -152,6 +181,26 @@ mod tests {
             msg.contains("/tmp/itb-bench-test-file/sub"),
             "panic must name the path: {msg}"
         );
+        // dump_stream hits the same error path on file creation — and must
+        // also surface mid-stream write errors from the closure.
+        let err = std::panic::catch_unwind(|| dump_stream("s.jsonl", |_| Ok(())))
+            .expect_err("creating under a file must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(msg.contains("/tmp/itb-bench-test-file/sub"), "{msg}");
+        std::env::set_var("ITB_RESULTS_DIR", "/tmp/itb-bench-test-results");
+        let err = std::panic::catch_unwind(|| {
+            dump_stream("unit_test_err.jsonl", |_| {
+                Err(std::io::Error::other("closure failed"))
+            })
+        })
+        .expect_err("closure errors must panic with the path");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(msg.contains("unit_test_err.jsonl"), "{msg}");
+        assert!(msg.contains("closure failed"), "{msg}");
         std::env::remove_var("ITB_RESULTS_DIR");
     }
 }

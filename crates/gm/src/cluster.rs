@@ -81,6 +81,12 @@ pub enum ClusterEvent {
     Nic(NicEvent),
     /// Host-layer event.
     Host(HostEvent),
+    /// Periodic observability tick: feed the timeline sampler and health
+    /// monitors one metrics snapshot, then reschedule. Scheduled only when
+    /// sampling is enabled (see [`Cluster::enable_timeline`] /
+    /// [`Cluster::enable_health`]); sim-time-driven, so sampled runs stay
+    /// deterministic.
+    Sample,
 }
 
 /// Queue adapter giving each layer its scheduling trait.
@@ -209,6 +215,13 @@ pub struct Cluster {
     crashes_injected: u64,
     /// Sharded-run identity (None = sequential; see [`Cluster::set_shard`]).
     shard: Option<GmShardInfo>,
+    /// Sim-time timeline sampler (None until [`Cluster::enable_timeline`]).
+    timeline: Option<itb_obs::TimelineSampler>,
+    /// Runtime health monitor (None until [`Cluster::enable_health`]).
+    health: Option<itb_obs::HealthMonitor>,
+    /// Sampling cadence: the minimum interval any enabled observer asked
+    /// for. None means no `Sample` events are scheduled at all.
+    sample_every: Option<SimDuration>,
 }
 
 impl Cluster {
@@ -283,6 +296,9 @@ impl Cluster {
             packets_abandoned: 0,
             crashes_injected: 0,
             shard: None,
+            timeline: None,
+            health: None,
+            sample_every: None,
         }
     }
 
@@ -301,6 +317,11 @@ impl Cluster {
         assert!(
             self.crashes.is_empty(),
             "parallel mode requires a crash-free fault plan"
+        );
+        assert!(
+            self.sample_every.is_none(),
+            "timeline/health sampling sees one shard's partial counters and \
+             would mistake remote progress for a stall; sample sequentially"
         );
         self.net.set_shard_ctx(me, part);
         self.shard = Some(GmShardInfo {
@@ -335,8 +356,157 @@ impl Cluster {
         }
     }
 
+    /// Enable the sim-time timeline sampler: every `interval` of sim time a
+    /// scheduled `Sample` event records one [`itb_obs::Snapshot`] delta.
+    /// Call before [`Cluster::start`]; retrieve the series with
+    /// [`Cluster::take_timeline`]. Incompatible with sharded parallel runs
+    /// (see [`Cluster::set_shard`]).
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub fn enable_timeline(&mut self, interval: SimDuration) {
+        self.timeline = Some(itb_obs::TimelineSampler::new(interval.as_ps() / 1_000));
+        self.tighten_sampling(interval);
+    }
+
+    /// Enable the runtime health monitors (stall watchdog, counter
+    /// conservation), sampled every `interval` of sim time; the watchdog
+    /// fires when traffic is pending but neither a delivery nor a link byte
+    /// advance happens for `stall_budget`. Call before [`Cluster::start`];
+    /// finalize with [`Cluster::health_report`]. Incompatible with sharded
+    /// parallel runs (see [`Cluster::set_shard`]).
+    ///
+    /// # Panics
+    /// Panics on a zero interval or zero budget.
+    pub fn enable_health(&mut self, interval: SimDuration, stall_budget: SimDuration) {
+        assert!(
+            interval > SimDuration::ZERO,
+            "sample interval must be positive"
+        );
+        self.health = Some(itb_obs::HealthMonitor::new(itb_obs::HealthConfig {
+            stall_budget_ns: stall_budget.as_ps() / 1_000,
+        }));
+        self.tighten_sampling(interval);
+    }
+
+    fn tighten_sampling(&mut self, interval: SimDuration) {
+        assert!(
+            interval > SimDuration::ZERO,
+            "sample interval must be positive"
+        );
+        self.sample_every = Some(match self.sample_every {
+            Some(cur) => cur.min(interval),
+            None => interval,
+        });
+    }
+
+    /// Take the recorded timeline (None if never enabled). The sampler is
+    /// consumed; re-enable to record again.
+    pub fn take_timeline(&mut self) -> Option<itb_obs::TimelineSampler> {
+        self.timeline.take()
+    }
+
+    /// Whether traffic still wants to make progress: packets on the wire or
+    /// messages sent but not delivered. This is what arms the stall
+    /// watchdog — a quiet network with nothing pending is a finished run,
+    /// not a stall.
+    pub fn traffic_pending(&self) -> bool {
+        self.net.in_flight() > 0 || (self.messages.len() as u64) > self.delivered_messages
+    }
+
+    /// The blocked set for stall diagnostics: every parked packet with its
+    /// network location, then every undelivered message, in id order.
+    pub fn blocked_set(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .net
+            .parked_packets()
+            .into_iter()
+            .map(|id| format!("packet {}: {}", id.0, self.net.locate_packet(id)))
+            .collect();
+        let mut undelivered: Vec<(u32, &MsgRecord)> = self
+            .messages
+            .iter()
+            .filter(|(_, r)| r.delivered_at.is_none())
+            .map(|(&id, r)| (id, r))
+            .collect();
+        undelivered.sort_by_key(|&(id, _)| id);
+        out.extend(undelivered.into_iter().map(|(id, r)| {
+            format!(
+                "msg {id}: h{}->h{} {} B sent at {} ns, undelivered",
+                r.src.idx(),
+                r.dst.idx(),
+                r.len,
+                r.sent_at.as_ps() / 1_000
+            )
+        }));
+        out
+    }
+
+    /// Finalize the health monitor at time `now`: feed it one last
+    /// snapshot, run the end-of-run NIC buffer-leak audit over every
+    /// receive pool, and return the structured report (None if
+    /// [`Cluster::enable_health`] was never called). The monitor is
+    /// consumed.
+    pub fn health_report(&mut self, now: SimTime) -> Option<itb_obs::HealthReport> {
+        let mut h = self.health.take()?;
+        let snap = self.metrics_snapshot(now);
+        let end_ns = snap.at_ns;
+        if h.observe(&snap, self.traffic_pending()) {
+            h.flag_stall(end_ns, self.blocked_set());
+        }
+        for (i, nic) in self.nics.iter().enumerate() {
+            let a = nic.buffer_audit();
+            h.audit_buffer(
+                end_ns,
+                &itb_obs::BufferAudit {
+                    node: narrow(i),
+                    pool: "recv".into(),
+                    total: a.recv_total,
+                    free: a.recv_free,
+                    in_use: a.recv_owned,
+                },
+            );
+        }
+        Some(h.finish(end_ns))
+    }
+
+    /// One observability tick: snapshot the metrics, feed the health
+    /// monitor (gathering the blocked set if the watchdog fires) and the
+    /// timeline sampler, then reschedule. Rescheduling stops when the model
+    /// has no events left AND no stall question is open — a finished run
+    /// terminates naturally, while a drained queue with traffic still
+    /// pending (the deadlock signature: nothing can move, so nothing is
+    /// scheduled) keeps the sampling clock alive exactly until the watchdog
+    /// fires once and diagnoses it.
+    fn on_sample(&mut self, now: SimTime, q: &mut EventQueue<ClusterEvent>) {
+        if self.timeline.is_some() || self.health.is_some() {
+            let snap = self.metrics_snapshot(now);
+            if let Some(mut h) = self.health.take() {
+                if h.observe(&snap, self.traffic_pending()) {
+                    h.flag_stall(snap.at_ns, self.blocked_set());
+                }
+                self.health = Some(h);
+            }
+            if let Some(t) = &mut self.timeline {
+                t.record(snap);
+            }
+        }
+        if let Some(iv) = self.sample_every {
+            let stall_open = self
+                .health
+                .as_ref()
+                .is_some_and(|h| !h.in_stall() && self.traffic_pending());
+            if !q.is_empty() || stall_open {
+                q.schedule(now + iv, ClusterEvent::Sample);
+            }
+        }
+    }
+
     /// Kick off every host's application and schedule planned NIC crashes.
     pub fn start(&mut self, q: &mut EventQueue<ClusterEvent>) {
+        if let Some(iv) = self.sample_every {
+            q.schedule(SimTime::ZERO + iv, ClusterEvent::Sample);
+        }
         for c in self.crashes.clone() {
             q.schedule(
                 c.at,
@@ -920,6 +1090,7 @@ impl World for Cluster {
                 self.nics[host.idx()].handle(now, e, &mut self.net, &mut sink);
             }
             ClusterEvent::Host(e) => self.on_host_event(e, now, q),
+            ClusterEvent::Sample => self.on_sample(now, q),
         }
         self.pump(now, q);
     }

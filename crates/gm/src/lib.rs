@@ -32,4 +32,4 @@ pub mod par;
 pub use apps::AppBehavior;
 pub use cluster::{Cluster, ClusterEvent, DeliveryNotice, MsgRecord};
 pub use config::GmConfig;
-pub use par::{run_cluster_shards, ParRunReport, ShardCluster};
+pub use par::{run_cluster_shards, run_cluster_shards_profiled, ParRunReport, ShardCluster};

@@ -41,7 +41,7 @@
 
 use crate::cluster::{Cluster, ClusterEvent, DeliveryNotice};
 use itb_net::NetHandoff;
-use itb_sim::par::{run_shards, Envelope, ShardWorld};
+use itb_sim::par::{run_shards, run_shards_profiled, Envelope, ParProfile, ShardWorld};
 use itb_sim::{narrow, EventQueue, SimDuration, SimTime, World};
 use itb_topo::Partition;
 
@@ -129,6 +129,10 @@ impl ShardWorld for ShardCluster {
     fn cross_shard_ties(&self) -> u64 {
         self.q.cross_shard_ties()
     }
+
+    fn events_dispatched(&self) -> u64 {
+        self.q.events_dispatched()
+    }
 }
 
 /// Aggregated result of one parallel cluster run.
@@ -187,6 +191,33 @@ pub fn run_cluster_shards(
     part: &Partition,
     horizon: SimTime,
 ) -> (Vec<ShardCluster>, ParRunReport) {
+    let (worlds, report, _) = run_cluster_shards_impl(replicas, part, horizon, false);
+    (worlds, report)
+}
+
+/// [`run_cluster_shards`] with the per-(shard, window) epoch profiler
+/// enabled: additionally returns the [`ParProfile`] of the run (window
+/// spans, per-window events/envelopes/ties, barrier-wait wall-ns — see
+/// [`itb_sim::par::WindowRecord`] for which fields are deterministic).
+/// Profiling allocates one record per shard per window; the unprofiled
+/// entry point pays neither that memory nor the barrier stopwatch.
+///
+/// # Panics
+/// Same contract as [`run_cluster_shards`].
+pub fn run_cluster_shards_profiled(
+    replicas: Vec<Cluster>,
+    part: &Partition,
+    horizon: SimTime,
+) -> (Vec<ShardCluster>, ParRunReport, ParProfile) {
+    run_cluster_shards_impl(replicas, part, horizon, true)
+}
+
+fn run_cluster_shards_impl(
+    replicas: Vec<Cluster>,
+    part: &Partition,
+    horizon: SimTime,
+    profile: bool,
+) -> (Vec<ShardCluster>, ParRunReport, ParProfile) {
     assert_eq!(
         replicas.len(),
         part.shards as usize,
@@ -206,7 +237,12 @@ pub fn run_cluster_shards(
     // detlint::allow(S001, the replica count was asserted nonzero via part.shards >= 1)
     let lookahead = lookahead.expect("at least one shard");
 
-    let (worlds, report) = run_shards(worlds, lookahead, horizon);
+    let (worlds, report, prof) = if profile {
+        run_shards_profiled(worlds, lookahead, horizon)
+    } else {
+        let (worlds, report) = run_shards(worlds, lookahead, horizon);
+        (worlds, report, ParProfile::default())
+    };
 
     let per_shard_events: Vec<u64> = worlds.iter().map(|w| w.q.events_dispatched()).collect();
     let events = per_shard_events.iter().sum();
@@ -232,5 +268,5 @@ pub fn run_cluster_shards(
         sim_time,
         cross_shard_ties: report.cross_shard_ties,
     };
-    (worlds, agg)
+    (worlds, agg, prof)
 }

@@ -1,0 +1,27 @@
+// False-positive corpus for D002 in a sampling path: the sampler keys off
+// sim-time nanoseconds handed in by the event queue — no host clock in
+// sight, so the artifact stream is a pure function of the seed.
+pub struct Sampler {
+    interval_ns: u64,
+    next_ns: u64,
+    samples: u64,
+}
+
+impl Sampler {
+    pub fn on_sample(&mut self, now_ns: u64) -> bool {
+        if now_ns < self.next_ns {
+            return false;
+        }
+        self.next_ns += self.interval_ns;
+        self.samples += 1;
+        true
+    }
+
+    // A profiler stopwatch may read the host clock when the reading lands
+    // only in sidecar records and the invariant is stated.
+    pub fn stopwatch_ns() -> u128 {
+        // detlint::allow(D002, profiler stopwatch: wall-ns lands only in sidecars, never in sim state)
+        let t0 = std::time::Instant::now();
+        t0.elapsed().as_nanos()
+    }
+}

@@ -1,0 +1,18 @@
+// True positives for D002 in an observability sampling path: timeline and
+// health samplers must advance on scheduled *sim-time* events — a host
+// clock read here would make the JSONL artifacts machine-dependent and
+// break the double-run byte-compare.
+use std::time::Instant;
+
+pub struct Sampler {
+    last_ns: u64,
+}
+
+impl Sampler {
+    pub fn on_sample(&mut self) -> u64 {
+        let t0 = Instant::now();
+        let _wall = std::time::SystemTime::now();
+        self.last_ns = t0.elapsed().as_nanos() as u64;
+        self.last_ns
+    }
+}

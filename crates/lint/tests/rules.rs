@@ -93,6 +93,34 @@ fn d002_thread_check_spares_lookalikes_and_benches() {
     assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
 }
 
+#[test]
+fn d002_flags_wall_clock_in_obs_sampling_paths() {
+    // The observability samplers (obs::timeline, obs::health) are exactly
+    // where a wall-clock read would silently wreck artifact determinism;
+    // prove the rule fires there like anywhere else.
+    let fs = lint_fixture("crates/obs/src/timeline.rs", "d002_obs_pos.rs");
+    // `Instant` twice (use + now) + SystemTime.
+    assert_eq!(unallowed(&fs, "D002").len(), 3, "{fs:?}");
+    let fs = lint_fixture("crates/obs/src/health.rs", "d002_obs_pos.rs");
+    assert_eq!(unallowed(&fs, "D002").len(), 3, "{fs:?}");
+}
+
+#[test]
+fn d002_passes_sim_time_sampling_and_reasoned_stopwatch() {
+    let fs = lint_fixture("crates/obs/src/timeline.rs", "d002_obs_neg.rs");
+    assert!(unallowed(&fs, "D002").is_empty(), "{fs:?}");
+    // The annotated profiler stopwatch stays on the audit trail.
+    let allowed: Vec<_> = fs
+        .iter()
+        .filter(|f| f.rule == "D002" && f.allowed)
+        .collect();
+    assert_eq!(allowed.len(), 1, "{fs:?}");
+    assert!(allowed[0]
+        .reason
+        .as_deref()
+        .is_some_and(|r| r.contains("profiler stopwatch")));
+}
+
 // ---- D003 ----------------------------------------------------------------
 
 #[test]

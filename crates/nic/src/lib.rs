@@ -34,5 +34,5 @@ pub mod stats;
 pub mod timing;
 
 pub use events::{CpuWork, DmaJob, NicEvent, NicOutput, NicSched};
-pub use mcp::{McpFlavor, Nic};
+pub use mcp::{McpFlavor, Nic, NicBufferAudit};
 pub use timing::McpTiming;

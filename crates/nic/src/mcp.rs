@@ -79,6 +79,27 @@ enum RecvKind {
     Flushed,
 }
 
+/// SRAM buffer accounting of one NIC at a point in time (see
+/// [`Nic::buffer_audit`]). The receive-pool invariant every healthy run
+/// must satisfy is `recv_free + recv_owned == recv_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicBufferAudit {
+    /// Receive-pool capacity.
+    pub recv_total: u64,
+    /// Free receive buffers.
+    pub recv_free: u64,
+    /// Receive buffers owned by live receptions (`owns_buffer`).
+    pub recv_owned: u64,
+    /// Send-pool capacity.
+    pub send_total: u64,
+    /// Free send buffers.
+    pub send_free: u64,
+    /// In-transit packets still awaiting the send DMA.
+    pub itb_pending: u64,
+    /// Arrivals deferred for lack of a receive buffer.
+    pub deferred_heads: u64,
+}
+
 /// One network adapter: LANai + MCP.
 pub struct Nic {
     host: HostId,
@@ -143,6 +164,23 @@ impl Nic {
     /// Whether this NIC is currently crashed (fault injection).
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Point-in-time SRAM buffer accounting for the end-of-run leak audit:
+    /// every receive buffer must be either free or owned by a live
+    /// reception (`owns_buffer`), through every path including crash
+    /// flushes and deferred heads. Send buffers are audited against the
+    /// queued/staging send jobs holding them.
+    pub fn buffer_audit(&self) -> NicBufferAudit {
+        NicBufferAudit {
+            recv_total: u64::from(self.timing.recv_buffers),
+            recv_free: u64::from(self.recv_buffers_free),
+            recv_owned: self.recv.values().filter(|r| r.owns_buffer).count() as u64,
+            send_total: u64::from(self.timing.send_buffers),
+            send_free: u64::from(self.send_buffers_free),
+            itb_pending: self.itb_pending.len() as u64,
+            deferred_heads: self.deferred_heads.len() as u64,
+        }
     }
 
     /// Debug: in-transit packets awaiting the send DMA.

@@ -13,19 +13,31 @@
 //!   wormhole blocking-time quantiles) with a [`Snapshot::delta`] API, all
 //!   serializable to JSON.
 //! * [`export`] — artifact writers: JSONL event dumps, Chrome
-//!   `trace_event` JSON (openable in Perfetto / `chrome://tracing`), and a
+//!   `trace_event` JSON (openable in Perfetto / `chrome://tracing`), a
 //!   per-stage latency attribution that decomposes an end-to-end packet
-//!   latency into injection / wormhole transit / ITB-hop / delivery.
+//!   latency into injection / wormhole transit / ITB-hop / delivery, and a
+//!   per-shard PDES window-utilization gantt built from
+//!   `itb_sim::par` profiler records.
+//! * [`timeline`] — a sim-time timeline sampler: periodic [`Snapshot`]
+//!   deltas (driven by scheduled sim events, never wall-clock) streamed as
+//!   a JSONL series of per-interval injected/delivered/link-load change.
+//! * [`health`] — runtime health monitors: a sim-time no-progress stall
+//!   watchdog, an end-of-run buffer-leak audit and a monotonic-counter
+//!   conservation check, reported as a structured [`HealthReport`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod stage;
+pub mod timeline;
 pub mod tracer;
 
-pub use export::{attribute, spans, Attribution, Span};
+pub use export::{attribute, spans, Attribution, ParTraceMeta, Span};
+pub use health::{BufferAudit, HealthConfig, HealthMonitor, HealthReport, Violation};
 pub use metrics::{LinkLoad, QuantileSummary, Snapshot};
 pub use stage::Stage;
+pub use timeline::{IntervalSample, TimelineSampler};
 pub use tracer::{PacketTracer, StageEvent};

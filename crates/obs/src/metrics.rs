@@ -145,6 +145,37 @@ impl Snapshot {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
+    /// Monotonicity audit: every counter or link-load value that went
+    /// *backwards* since `base`, described one string per regression (in
+    /// sorted counter order, then link order). Counters present only in
+    /// `base` count as regressions to zero. [`Snapshot::delta`] saturates
+    /// such regressions away; this is the companion that *flags* them, so
+    /// health monitors can surface wrap/reset bugs instead of hiding them.
+    pub fn regressions(&self, base: &Snapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, &b) in &base.counters {
+            let v = self.counter(k);
+            if v < b {
+                out.push(format!("counter {k} regressed: {b} -> {v}"));
+            }
+        }
+        for bl in &base.links {
+            if let Some(l) = self.links.iter().find(|l| l.link == bl.link) {
+                for (field, b, v) in [
+                    ("fwd_bytes", bl.fwd_bytes, l.fwd_bytes),
+                    ("rev_bytes", bl.rev_bytes, l.rev_bytes),
+                    ("fwd_blocked_ns", bl.fwd_blocked_ns, l.fwd_blocked_ns),
+                    ("rev_blocked_ns", bl.rev_blocked_ns, l.rev_blocked_ns),
+                ] {
+                    if v < b {
+                        out.push(format!("link {} {field} regressed: {b} -> {v}", l.link));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Render as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|e| {
@@ -209,6 +240,58 @@ mod tests {
         assert_eq!(d.counter("net.injected"), 0);
         // Links absent from the base pass through unchanged.
         assert_eq!(d.links[1].fwd_bytes, 7);
+    }
+
+    #[test]
+    fn delta_on_regressed_counter_saturates_and_regressions_flags_it() {
+        // A counter going backwards (engine bug / reset) must never wrap in
+        // delta() — and must be *visible* through regressions().
+        let mut base = sample_snapshot(1);
+        base.counters.insert("net.injected".into(), 100);
+        base.links[0].fwd_bytes = 10_000;
+        let mut later = sample_snapshot(1);
+        later.counters.insert("net.injected".into(), 90);
+        later.links[0].fwd_bytes = 9_000;
+        let d = later.delta(&base);
+        assert_eq!(d.counter("net.injected"), 0, "saturate, never wrap");
+        assert_eq!(d.links[0].fwd_bytes, 0, "saturate, never wrap");
+        let regs = later.regressions(&base);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs[0].contains("net.injected regressed: 100 -> 90"));
+        assert!(regs[1].contains("h0-s0 fwd_bytes regressed"));
+        // A counter that vanished entirely regresses to zero.
+        let mut gone = sample_snapshot(1);
+        gone.counters.remove("net.injected");
+        let regs = gone.regressions(&base);
+        assert!(regs.iter().any(|r| r.contains("100 -> 0")), "{regs:?}");
+        // Monotonic growth reports nothing.
+        assert!(sample_snapshot(2)
+            .regressions(&sample_snapshot(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn quantile_summary_from_empty_and_single_sample_accums() {
+        // Empty: count 0, mean 0, every order statistic NaN (serializes as
+        // JSON null, keeping artifacts valid).
+        let q = QuantileSummary::from(&Accum::new());
+        assert_eq!(q.n, 0);
+        assert_eq!(q.mean, 0.0);
+        for v in [q.min, q.max, q.p50, q.p95, q.p99] {
+            assert!(v.is_nan(), "empty accum statistic must be NaN");
+        }
+        // Single sample: every statistic collapses onto it (quantiles are
+        // clamped to the observed [min, max], so they are exact here).
+        let mut a = Accum::new();
+        a.add(42.0);
+        let q = QuantileSummary::from(&a);
+        assert_eq!(q.n, 1);
+        assert_eq!(q.mean, 42.0);
+        assert_eq!(q.min, 42.0);
+        assert_eq!(q.max, 42.0);
+        assert_eq!(q.p50, 42.0);
+        assert_eq!(q.p95, 42.0);
+        assert_eq!(q.p99, 42.0);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Sim-time timeline sampling: a periodic series of [`Snapshot`] deltas.
+//!
+//! The sampler is *passive*: it never reads a clock and never schedules
+//! anything itself. The integrating world (see `itb_gm::Cluster`) schedules
+//! a sampling event on its own sim-time event queue at a fixed interval and
+//! feeds the resulting [`Snapshot`] to [`TimelineSampler::record`]; the
+//! sampler diffs it against the previous one and keeps the per-interval
+//! change. Driving the cadence through scheduled events (never wall-clock)
+//! is what keeps runs deterministic — detlint rule D002 machine-enforces
+//! that no wall-clock source creeps into this path.
+//!
+//! The artifact is JSONL: one [`IntervalSample`] object per line, so a
+//! timeline can be streamed, tailed and diffed without a JSON parser. A
+//! same-seed run reproduces the file byte for byte (the CI timeline gate
+//! compares two runs with `cmp`).
+
+use crate::metrics::Snapshot;
+use serde::Serialize;
+use std::io;
+
+/// One sampling interval's worth of change.
+///
+/// `delta` holds counter-wise and link-wise differences over the interval
+/// (see [`Snapshot::delta`]); its `blocking` quantiles are the cumulative
+/// distribution at `t_ns` (summaries cannot be subtracted).
+#[derive(Debug, Clone, Serialize)]
+pub struct IntervalSample {
+    /// Absolute sim time at the *end* of the interval, nanoseconds.
+    pub t_ns: u64,
+    /// Interval span in nanoseconds (time since the previous sample, or
+    /// since t = 0 for the first sample).
+    pub interval_ns: u64,
+    /// Per-interval counter/link deltas; cumulative blocking quantiles.
+    pub delta: Snapshot,
+}
+
+/// Collects periodic [`Snapshot`]s and turns them into an interval series.
+#[derive(Debug, Clone)]
+pub struct TimelineSampler {
+    interval_ns: u64,
+    base: Snapshot,
+    samples: Vec<IntervalSample>,
+}
+
+impl TimelineSampler {
+    /// A sampler for a nominal cadence of `interval_ns` sim nanoseconds.
+    ///
+    /// The cadence is informational (it is echoed into the artifact via
+    /// `interval_ns` on each row); the actual spacing is whatever the
+    /// integrating world's sampling events produce.
+    ///
+    /// # Panics
+    /// Panics on a zero interval — a zero-period sampler would ask the
+    /// integrating world to schedule events that never advance time.
+    pub fn new(interval_ns: u64) -> Self {
+        assert!(interval_ns > 0, "timeline interval must be positive");
+        TimelineSampler {
+            interval_ns,
+            base: Snapshot::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Nominal sampling cadence in sim nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Record one absolute snapshot; the stored sample is its delta against
+    /// the previously recorded snapshot (or the empty time-zero snapshot
+    /// for the first call).
+    pub fn record(&mut self, snap: Snapshot) {
+        let delta = snap.delta(&self.base);
+        self.samples.push(IntervalSample {
+            t_ns: snap.at_ns,
+            interval_ns: snap.at_ns.saturating_sub(self.base.at_ns),
+            delta,
+        });
+        self.base = snap;
+    }
+
+    /// The interval series recorded so far.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Stream the series as JSONL (one compact object per line) into `w`.
+    /// Callers wrap file sinks in a `BufWriter` (see `itb_bench`'s
+    /// `dump_stream`); each line is one small write.
+    pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        for s in &self.samples {
+            // detlint::allow(S001, interval samples serialize by construction)
+            let line = serde_json::to_string(s).expect("interval sample serializes");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// The JSONL series as a string (delegates to [`Self::write_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        let mut buf = Vec::new();
+        // detlint::allow(S001, writing into a Vec cannot fail)
+        self.write_jsonl(&mut buf).expect("Vec sink never errors");
+        // detlint::allow(S001, JSON output is ASCII)
+        String::from_utf8(buf).expect("JSONL is valid UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LinkLoad;
+
+    fn snap(at_ns: u64, injected: u64, fwd: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.at_ns = at_ns;
+        s.counters.insert("net.injected".into(), injected);
+        s.links.push(LinkLoad {
+            link: "h0-s0".into(),
+            fwd_bytes: fwd,
+            rev_bytes: 0,
+            fwd_blocked_ns: 0,
+            rev_blocked_ns: 0,
+        });
+        s
+    }
+
+    #[test]
+    fn records_interval_deltas_not_cumulatives() {
+        let mut t = TimelineSampler::new(1000);
+        t.record(snap(1000, 10, 512));
+        t.record(snap(2000, 25, 2048));
+        assert_eq!(t.len(), 2);
+        // First interval diffs against the empty t=0 snapshot.
+        assert_eq!(t.samples()[0].delta.counter("net.injected"), 10);
+        assert_eq!(t.samples()[0].interval_ns, 1000);
+        // Second interval carries only its own change.
+        assert_eq!(t.samples()[1].delta.counter("net.injected"), 15);
+        assert_eq!(t.samples()[1].delta.links[0].fwd_bytes, 1536);
+        assert_eq!(t.samples()[1].t_ns, 2000);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_sample() {
+        let mut t = TimelineSampler::new(500);
+        t.record(snap(500, 1, 64));
+        t.record(snap(1000, 2, 128));
+        let out = t.to_jsonl();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().next().is_some_and(|l| l.contains("\"t_ns\"")));
+        assert!(out.ends_with('\n'));
+        assert_eq!(TimelineSampler::new(1).to_jsonl(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = TimelineSampler::new(0);
+    }
+}

@@ -52,6 +52,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -122,6 +123,14 @@ pub trait ShardWorld {
     fn cross_shard_ties(&self) -> u64 {
         0
     }
+
+    /// Cumulative events this shard's queue has dispatched; the profiler
+    /// differences it around each window to attribute event work to epoch
+    /// windows. Implementations forward [`EventQueue::events_dispatched`];
+    /// the default (always 0) merely zeroes the per-window `events` column.
+    fn events_dispatched(&self) -> u64 {
+        0
+    }
 }
 
 /// Summary of one parallel run.
@@ -140,8 +149,66 @@ pub struct ParReport {
     pub cross_shard_ties: u64,
 }
 
+/// One (shard, window) profiler record: what a shard did inside one epoch
+/// window of the conservative protocol.
+///
+/// Sim-time fields (`g_ps`, `limit_ps`) and count fields are deterministic
+/// for a fixed shard count; the `barrier_*_wait_ns` wall-clock fields are
+/// *not* (they measure OS scheduling), so profiler artifacts must never be
+/// byte-compared across runs — the determinism gates compare only the
+/// sim-time artifacts.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowRecord {
+    /// Shard this record belongs to.
+    pub shard: u32,
+    /// Window ordinal (0-based, counted per shard; all shards execute the
+    /// same window sequence).
+    pub window: u64,
+    /// Window start: the global minimum next-event time g, picoseconds.
+    pub g_ps: u64,
+    /// Exclusive window end `min(g + lookahead, horizon + 1)`, picoseconds.
+    pub limit_ps: u64,
+    /// Events this shard dispatched inside the window.
+    pub events: u64,
+    /// Cross-shard envelopes absorbed at the start of this window.
+    pub envelopes_in: u64,
+    /// Cross-shard envelopes this shard deposited during the window.
+    pub envelopes_out: u64,
+    /// Cross-shard rank ties dispatched inside the window.
+    pub ties: u64,
+    /// Wall nanoseconds spent waiting on barrier A (next-time agreement).
+    /// Nondeterministic; 0 when profiling is off or the run is single-shard.
+    pub barrier_a_wait_ns: u64,
+    /// Wall nanoseconds spent waiting on barrier B (window completion).
+    /// Nondeterministic; 0 when profiling is off or the run is single-shard.
+    pub barrier_b_wait_ns: u64,
+}
+
+/// The full per-(shard, window) profile of one parallel run, sorted by
+/// `(shard, window)`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ParProfile {
+    /// One record per shard per executed window.
+    pub records: Vec<WindowRecord>,
+}
+
 /// Sentinel for "shard has nothing pending".
 const IDLE: u64 = u64::MAX;
+
+/// Run `f`, returning its result plus the wall nanoseconds it took — but
+/// only when `profile` is set; otherwise the clock is never touched and the
+/// reading is 0. Wall time here is observability sidecar data (barrier-wait
+/// attribution); it never feeds back into simulation state, which is what
+/// keeps profiled runs bit-reproducible in every sim-time artifact.
+fn wall_ns<T>(profile: bool, f: impl FnOnce() -> T) -> (T, u64) {
+    if !profile {
+        return (f(), 0);
+    }
+    // detlint::allow(D002, profiler stopwatch: wall-ns lands only in WindowRecord sidecars, never in sim state)
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, crate::narrow(t0.elapsed().as_nanos()))
+}
 
 /// One window's cross-shard mail from one source shard to one destination.
 type Mailbox<M> = Mutex<Vec<Envelope<M>>>;
@@ -167,6 +234,38 @@ pub fn run_shards<W>(
 where
     W: ShardWorld + Send,
 {
+    let (worlds, report, _) = run_shards_impl(worlds, lookahead, horizon, false);
+    (worlds, report)
+}
+
+/// [`run_shards`] with the per-(shard, window) profiler enabled: every epoch
+/// window additionally produces a [`WindowRecord`] (events, envelope counts,
+/// ties, barrier-wait wall-ns). Sim-time execution is identical to the
+/// unprofiled run — the profiler only *reads* counters the engine maintains
+/// anyway, plus a wall stopwatch around the barrier waits.
+///
+/// # Panics
+/// Same contract as [`run_shards`].
+pub fn run_shards_profiled<W>(
+    worlds: Vec<W>,
+    lookahead: SimDuration,
+    horizon: SimTime,
+) -> (Vec<W>, ParReport, ParProfile)
+where
+    W: ShardWorld + Send,
+{
+    run_shards_impl(worlds, lookahead, horizon, true)
+}
+
+fn run_shards_impl<W>(
+    worlds: Vec<W>,
+    lookahead: SimDuration,
+    horizon: SimTime,
+    profile: bool,
+) -> (Vec<W>, ParReport, ParProfile)
+where
+    W: ShardWorld + Send,
+{
     let n = worlds.len();
     assert!(n > 0, "run_shards needs at least one shard");
     assert!(
@@ -178,8 +277,29 @@ where
     // window to the horizon is the sequential engine.
     if n == 1 {
         let mut worlds = worlds;
-        worlds[0].run_window(SimTime::from_ps(horizon.as_ps().saturating_add(1)));
+        let events_before = worlds[0].events_dispatched();
+        let ties_before = worlds[0].cross_shard_ties();
+        let limit_ps = horizon.as_ps().saturating_add(1);
+        worlds[0].run_window(SimTime::from_ps(limit_ps));
         let cross_shard_ties = worlds[0].cross_shard_ties();
+        let profile_out = ParProfile {
+            records: if profile {
+                vec![WindowRecord {
+                    shard: 0,
+                    window: 0,
+                    g_ps: 0,
+                    limit_ps,
+                    events: worlds[0].events_dispatched().saturating_sub(events_before),
+                    envelopes_in: 0,
+                    envelopes_out: 0,
+                    ties: cross_shard_ties.saturating_sub(ties_before),
+                    barrier_a_wait_ns: 0,
+                    barrier_b_wait_ns: 0,
+                }]
+            } else {
+                Vec::new()
+            },
+        };
         return (
             worlds,
             ParReport {
@@ -188,6 +308,7 @@ where
                 lookahead,
                 cross_shard_ties,
             },
+            profile_out,
         );
     }
 
@@ -207,7 +328,7 @@ where
     let horizon_ps = horizon.as_ps();
 
     // detlint::allow(D002, the conservative PDES driver is the one sanctioned thread-spawn site; workers synchronize on barriers and never read wall-clock time)
-    let results: Vec<(W, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(W, u64, Vec<WindowRecord>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (me, mut world) in worlds.into_iter().enumerate() {
             let next_times = &next_times;
@@ -218,6 +339,7 @@ where
             handles.push(scope.spawn(move || {
                 let mut windows: u64 = 0;
                 let mut incoming: Vec<Envelope<W::Msg>> = Vec::new();
+                let mut records: Vec<WindowRecord> = Vec::new();
                 loop {
                     // Drain mailboxes addressed to this shard (deposited
                     // before the previous barrier B) and merge them in the
@@ -229,6 +351,7 @@ where
                             incoming.append(&mut slot);
                         }
                     }
+                    let envelopes_in = incoming.len() as u64;
                     incoming.sort_by_key(Envelope::merge_key);
                     for env in incoming.drain(..) {
                         world.absorb(env);
@@ -238,7 +361,9 @@ where
                     // the global minimum g.
                     let mine = world.next_time().map_or(IDLE, SimTime::as_ps);
                     next_times[me].store(mine, Ordering::SeqCst);
-                    barrier_a.wait();
+                    let ((), barrier_a_wait_ns) = wall_ns(profile, || {
+                        barrier_a.wait();
+                    });
                     let mut g = IDLE;
                     for slot in next_times.iter() {
                         g = g.min(slot.load(Ordering::SeqCst));
@@ -253,21 +378,44 @@ where
                     // Execute the window [g, g + lookahead), clipped to the
                     // inclusive horizon, then deposit cross-shard effects.
                     let limit = g.saturating_add(l_ps).min(horizon_ps.saturating_add(1));
+                    let events_before = world.events_dispatched();
+                    let ties_before = world.cross_shard_ties();
                     world.run_window(SimTime::from_ps(limit));
+                    let mut envelopes_out = 0u64;
                     for (dst, slot) in mailboxes[me].iter().enumerate() {
                         if dst != me {
                             let out = world.take_outbox(crate::narrow(dst));
                             if !out.is_empty() {
+                                envelopes_out += out.len() as u64;
                                 // detlint::allow(S001, poisoning is unreachable: a worker panic aborts the scope before the lock is retaken)
                                 let mut slot = slot.lock().expect("poisoned");
                                 slot.extend(out);
                             }
                         }
                     }
+                    if profile {
+                        records.push(WindowRecord {
+                            shard: crate::narrow(me),
+                            window: windows,
+                            g_ps: g,
+                            limit_ps: limit,
+                            events: world.events_dispatched().saturating_sub(events_before),
+                            envelopes_in,
+                            envelopes_out,
+                            ties: world.cross_shard_ties().saturating_sub(ties_before),
+                            barrier_a_wait_ns,
+                            barrier_b_wait_ns: 0,
+                        });
+                    }
                     windows += 1;
-                    barrier_b.wait();
+                    let ((), barrier_b_wait_ns) = wall_ns(profile, || {
+                        barrier_b.wait();
+                    });
+                    if let Some(last) = records.last_mut() {
+                        last.barrier_b_wait_ns = barrier_b_wait_ns;
+                    }
                 }
-                (world, windows)
+                (world, windows, records)
             }));
         }
         handles
@@ -280,11 +428,14 @@ where
     let mut worlds = Vec::with_capacity(n);
     let mut windows = 0u64;
     let mut cross_shard_ties = 0u64;
-    for (w, wnd) in results {
+    let mut records = Vec::new();
+    for (w, wnd, rec) in results {
         windows = windows.max(wnd);
         cross_shard_ties += w.cross_shard_ties();
+        records.extend(rec);
         worlds.push(w);
     }
+    records.sort_by_key(|r| (r.shard, r.window));
     (
         worlds,
         ParReport {
@@ -293,6 +444,7 @@ where
             lookahead,
             cross_shard_ties,
         },
+        ParProfile { records },
     )
 }
 

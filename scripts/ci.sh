@@ -43,11 +43,22 @@ perf_a=$(mktemp -d)
 perf_b=$(mktemp -d)
 par_a=$(mktemp -d)
 par_b=$(mktemp -d)
-trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b"' EXIT
-ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
-echo "== chaos determinism (same seed twice, byte-identical artifact) =="
-ITB_RESULTS_DIR="$chaos_b" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke
+stall_a=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b" "$stall_a"' EXIT
+# --strict-health makes the run a health gate: the fault schedule must stay
+# clean under the stall watchdog, buffer-leak audit and counter checks.
+ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke --strict-health
+echo "== chaos determinism (same seed twice, byte-identical artifacts) =="
+ITB_RESULTS_DIR="$chaos_b" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke --strict-health
 cmp "$chaos_a/chaos_soak.json" "$chaos_b/chaos_soak.json"
+# The observability artifacts are pure sim-time facts — same determinism
+# contract as the main artifact. (Profiler sidecars with barrier wall-ns
+# are deliberately NOT compared anywhere.)
+cmp "$chaos_a/chaos_timeline.jsonl" "$chaos_b/chaos_timeline.jsonl"
+cmp "$chaos_a/health_report.json" "$chaos_b/health_report.json"
+
+echo "== health stall self-test (watchdog must flag an unroutable fabric) =="
+ITB_RESULTS_DIR="$stall_a" cargo run --release -q -p itb-bench --bin health_stall
 
 echo "== perf smoke (tiny gauntlet, deterministic digest twice) =="
 # Wall-clock numbers vary run to run; the digest holds only sim-side facts

@@ -19,7 +19,9 @@
 //! * [`gm`] — the GM host software model (ports, tokens, mapper, reliable
 //!   delivery, `allsize`-style drivers),
 //! * [`core`](mod@core) — high-level cluster builder, calibrated timing
-//!   presets and experiment runners.
+//!   presets and experiment runners,
+//! * [`obs`] — observability: metrics snapshots, packet tracing, the
+//!   sim-time timeline sampler and the runtime health monitors.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure.
@@ -42,6 +44,7 @@ pub use itb_core as core;
 pub use itb_gm as gm;
 pub use itb_net as net;
 pub use itb_nic as nic;
+pub use itb_obs as obs;
 pub use itb_routing as routing;
 pub use itb_sim as sim;
 pub use itb_topo as topo;
