@@ -1,0 +1,181 @@
+//! The checker's transition alphabet.
+
+use std::fmt;
+
+/// One transition the checker can take from a world state.
+///
+/// `Step` is the deterministic move — pop the next calendar event and
+/// dispatch it. Everything else injects a fault *now* (at the queue's
+/// current time) and is gated by the exploration fault budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Pop and handle the next scheduled event.
+    Step,
+    /// CRC-corrupt an in-flight packet; the destination NIC's tail check
+    /// will discard it, exactly like a seeded fault-plan drop.
+    Drop {
+        /// The packet id ([`itb_net::PacketId`]).
+        packet: u64,
+    },
+    /// Force a link down: arriving head flits are corrupted until the
+    /// matching [`Action::LinkUp`].
+    LinkDown {
+        /// The link id ([`itb_topo::LinkId`]).
+        link: u32,
+    },
+    /// Bring a forced-down link back up.
+    LinkUp {
+        /// The link id.
+        link: u32,
+    },
+    /// Crash a host's NIC (flushes its receptions, discards arrivals).
+    Crash {
+        /// The host id.
+        host: u16,
+    },
+    /// Recover a crashed NIC.
+    Recover {
+        /// The host id.
+        host: u16,
+    },
+}
+
+impl Action {
+    /// Render this action as one fixture token (`step`, `drop 5`,
+    /// `link-down 0`, `link-up 0`, `crash 1`, `recover 1`). [`Action::parse`]
+    /// round-trips it.
+    pub fn token(&self) -> String {
+        match *self {
+            Action::Step => "step".to_string(),
+            Action::Drop { packet } => format!("drop {packet}"),
+            Action::LinkDown { link } => format!("link-down {link}"),
+            Action::LinkUp { link } => format!("link-up {link}"),
+            Action::Crash { host } => format!("crash {host}"),
+            Action::Recover { host } => format!("recover {host}"),
+        }
+    }
+
+    /// Parse one fixture token (inverse of [`Action::token`]).
+    ///
+    /// # Errors
+    /// Returns a description of the malformed token.
+    pub fn parse(s: &str) -> Result<Action, String> {
+        let mut parts = s.split_whitespace();
+        let head = parts
+            .next()
+            .ok_or_else(|| "empty action token".to_string())?;
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("trailing tokens in action {s:?}"));
+        }
+        fn num<T: std::str::FromStr>(head: &str, arg: Option<&str>) -> Result<T, String> {
+            arg.ok_or_else(|| format!("`{head}` needs an argument"))?
+                .parse()
+                .map_err(|_| format!("bad `{head}` argument"))
+        }
+        match head {
+            "step" => match arg {
+                None => Ok(Action::Step),
+                Some(_) => Err("`step` takes no argument".to_string()),
+            },
+            "drop" => Ok(Action::Drop {
+                packet: num(head, arg)?,
+            }),
+            "link-down" => Ok(Action::LinkDown {
+                link: num(head, arg)?,
+            }),
+            "link-up" => Ok(Action::LinkUp {
+                link: num(head, arg)?,
+            }),
+            "crash" => Ok(Action::Crash {
+                host: num(head, arg)?,
+            }),
+            "recover" => Ok(Action::Recover {
+                host: num(head, arg)?,
+            }),
+            other => Err(format!("unknown action {other:?}")),
+        }
+    }
+
+    /// Whether this action spends one unit of the fault budget.
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, Action::Step)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// Parse a whole fixture schedule: one action token per line, blank lines
+/// and `#` comments skipped.
+///
+/// # Errors
+/// Returns the first malformed line (1-based) and its parse error.
+pub fn parse_schedule(text: &str) -> Result<Vec<Action>, String> {
+    let mut out = Vec::new();
+    for (ix, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let a = Action::parse(line).map_err(|e| format!("line {}: {e}", ix + 1))?;
+        out.push(a);
+    }
+    Ok(out)
+}
+
+/// Render a schedule in the fixture format (inverse of [`parse_schedule`]).
+pub fn render_schedule(path: &[Action]) -> String {
+    let mut s = String::new();
+    for a in path {
+        s.push_str(&a.token());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        let all = [
+            Action::Step,
+            Action::Drop { packet: 17 },
+            Action::LinkDown { link: 3 },
+            Action::LinkUp { link: 3 },
+            Action::Crash { host: 1 },
+            Action::Recover { host: 1 },
+        ];
+        for a in all {
+            assert_eq!(Action::parse(&a.token()), Ok(a), "{a}");
+        }
+    }
+
+    #[test]
+    fn schedules_round_trip_with_comments() {
+        let text = "# a known-bad schedule\nstep\ndrop 4\n\nstep\n";
+        let parsed = parse_schedule(text).unwrap();
+        assert_eq!(
+            parsed,
+            vec![Action::Step, Action::Drop { packet: 4 }, Action::Step]
+        );
+        assert_eq!(render_schedule(&parsed), "step\ndrop 4\nstep\n");
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected() {
+        assert!(Action::parse("").is_err());
+        assert!(Action::parse("step 1").is_err());
+        assert!(Action::parse("drop").is_err());
+        assert!(Action::parse("drop x").is_err());
+        assert!(Action::parse("teleport 3").is_err());
+        assert!(parse_schedule("step\nnope\n")
+            .unwrap_err()
+            .contains("line 2"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Breadth-first exhaustive exploration with state-hash deduplication,
+//! plus greedy counterexample minimization.
+
+use crate::action::{render_schedule, Action};
+use crate::invariants::{self, InvariantKind, Violation};
+use crate::scenario::Scenario;
+use itb_sim::FxHashSet;
+use std::collections::VecDeque;
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum path length (every action counts, `Step` included).
+    pub depth: usize,
+    /// Maximum non-`Step` actions per path. Branching only happens while
+    /// budget remains, so this — not the depth — controls the state count.
+    pub fault_budget: u32,
+    /// Hard cap on explored states (safety valve; a capped run reports
+    /// `state_cap_hit` so truncation is never silent).
+    pub max_states: u64,
+}
+
+/// Recorded violations stop growing past this many per run; exploration
+/// also stops, since a single root cause floods the frontier with
+/// rediscoveries of itself.
+const MAX_VIOLATIONS: usize = 8;
+
+/// One violation with its minimized reproduction schedule.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ViolationReport {
+    /// Stable invariant name (see [`InvariantKind::as_str`]).
+    pub kind: String,
+    /// Deterministic description of the broken state.
+    pub detail: String,
+    /// Minimized schedule in fixture token form, one action per entry.
+    pub path: Vec<String>,
+    /// Length of the path BFS originally found (before minimization).
+    pub found_at_len: usize,
+}
+
+/// The result of exploring one scenario.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Depth bound used.
+    pub depth: usize,
+    /// Fault budget used.
+    pub fault_budget: u32,
+    /// Distinct states expanded (after digest dedup).
+    pub states_explored: u64,
+    /// Transitions taken (edges, including ones landing on known states).
+    pub transitions: u64,
+    /// Edges that landed on an already-visited digest.
+    pub dedup_hits: u64,
+    /// Peak frontier size.
+    pub frontier_peak: u64,
+    /// Longest path expanded.
+    pub max_depth_reached: u64,
+    /// Paths cut at the depth bound.
+    pub depth_truncated: u64,
+    /// Terminal states where every message was delivered.
+    pub quiescent_terminals: u64,
+    /// Terminal states with a surfaced connection failure (accepted: the
+    /// fault schedule legitimately killed the flow and GM reported it).
+    pub failed_terminals: u64,
+    /// Whether the `max_states` safety valve fired (coverage incomplete).
+    pub state_cap_hit: bool,
+    /// Whether the violation cap stopped the run early.
+    pub violation_cap_hit: bool,
+    /// Every distinct violation found, minimized.
+    pub violations: Vec<ViolationReport>,
+}
+
+/// Exhaustively explore `sc` to the configured bounds, checking every
+/// reached state. Deterministic: same scenario and config produce a
+/// byte-identical report.
+pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
+    let hosts = sc.num_hosts();
+    let mut report = ExploreReport {
+        scenario: sc.name.to_string(),
+        depth: cfg.depth,
+        fault_budget: cfg.fault_budget,
+        states_explored: 0,
+        transitions: 0,
+        dedup_hits: 0,
+        frontier_peak: 0,
+        max_depth_reached: 0,
+        depth_truncated: 0,
+        quiescent_terminals: 0,
+        failed_terminals: 0,
+        state_cap_hit: false,
+        violation_cap_hit: false,
+        violations: Vec::new(),
+    };
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    let mut seen_counterexamples: FxHashSet<String> = FxHashSet::default();
+    let mut frontier: VecDeque<(Vec<Action>, u32)> = VecDeque::new();
+
+    let root = sc.build();
+    visited.insert(root.digest());
+    // The root must be clean before expansion (children are checked as
+    // they are generated, so every expanded parent is known clean).
+    if let Some(v) = invariants::check_state(&root.cluster, hosts) {
+        record(sc, &mut report, &mut seen_counterexamples, v, &[]);
+        return report;
+    }
+    frontier.push_back((Vec::new(), 0));
+    report.frontier_peak = 1;
+
+    while let Some((path, faults_used)) = frontier.pop_front() {
+        if report.states_explored >= cfg.max_states {
+            report.state_cap_hit = true;
+            break;
+        }
+        if report.violations.len() >= MAX_VIOLATIONS {
+            report.violation_cap_hit = true;
+            break;
+        }
+        report.states_explored += 1;
+        report.max_depth_reached = report.max_depth_reached.max(path.len() as u64);
+
+        let st = sc.replay(&path);
+        if st.queue.is_empty() {
+            match invariants::check_terminal(&st.cluster, &st.queue) {
+                Some(v) => record(sc, &mut report, &mut seen_counterexamples, v, &path),
+                None => {
+                    if st.cluster.connection_failures().is_empty() {
+                        report.quiescent_terminals += 1;
+                    } else {
+                        report.failed_terminals += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        if path.len() >= cfg.depth {
+            report.depth_truncated += 1;
+            continue;
+        }
+        let budget_left = cfg.fault_budget - faults_used;
+        for a in st.enabled(sc, budget_left) {
+            report.transitions += 1;
+            let mut child = sc.replay(&path);
+            let applied = child.apply(a);
+            debug_assert!(applied, "enabled action {a} must apply");
+            let mut child_path = path.clone();
+            child_path.push(a);
+            if let Some(v) = invariants::check_state(&child.cluster, hosts) {
+                record(sc, &mut report, &mut seen_counterexamples, v, &child_path);
+                // A violating state is recorded, not expanded.
+                continue;
+            }
+            if !visited.insert(child.digest()) {
+                report.dedup_hits += 1;
+                continue;
+            }
+            frontier.push_back((child_path, faults_used + u32::from(a.is_fault())));
+            report.frontier_peak = report.frontier_peak.max(frontier.len() as u64);
+        }
+    }
+    report
+}
+
+/// Record a violation: minimize its path, dedupe against already-recorded
+/// counterexamples (one root cause reappears along many interleavings),
+/// and append the report entry.
+fn record(
+    sc: &Scenario,
+    report: &mut ExploreReport,
+    seen: &mut FxHashSet<String>,
+    v: Violation,
+    path: &[Action],
+) {
+    let min = minimize(sc, path, v.kind);
+    let key = format!("{}|{}", v.kind.as_str(), render_schedule(&min));
+    if !seen.insert(key) {
+        return;
+    }
+    report.violations.push(ViolationReport {
+        kind: v.kind.as_str().to_string(),
+        detail: v.detail,
+        path: min.iter().map(Action::token).collect(),
+        found_at_len: path.len(),
+    });
+}
+
+/// Greedily shrink a violating schedule: repeatedly try removing each
+/// fault action (scanning from the end) and re-replaying; keep any
+/// candidate that still reaches a violation of the same kind, truncated
+/// to the first state that exhibits it. BFS already guarantees minimal
+/// action *count* for the original kind, so this mainly strips fault
+/// injections that turned out to be irrelevant to the failure.
+pub fn minimize(sc: &Scenario, path: &[Action], kind: InvariantKind) -> Vec<Action> {
+    let mut best: Vec<Action> = match violating_prefix(sc, path, kind) {
+        Some(p) => p,
+        // The path as given does not reproduce (e.g. a terminal-only
+        // violation observed mid-path): return it untouched.
+        None => return path.to_vec(),
+    };
+    loop {
+        let mut improved = false;
+        for i in (0..best.len()).rev() {
+            if !best[i].is_fault() {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.remove(i);
+            if let Some(shorter) = violating_prefix(sc, &cand, kind) {
+                best = shorter;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Replay `path` and return its shortest prefix whose end state violates
+/// `kind` (checking the terminal invariant when the queue drains), or
+/// `None` if the full path stays clean.
+fn violating_prefix(sc: &Scenario, path: &[Action], kind: InvariantKind) -> Option<Vec<Action>> {
+    let hosts = sc.num_hosts();
+    let mut st = sc.build();
+    if kind == InvariantKind::Deadlock {
+        if let Some(v) = invariants::check_terminal(&st.cluster, &st.queue) {
+            debug_assert_eq!(v.kind, kind);
+            return Some(Vec::new());
+        }
+    }
+    for (i, &a) in path.iter().enumerate() {
+        if !st.apply(a) {
+            // The shrunken schedule diverged (an action lost its target);
+            // skip it and keep replaying the rest.
+            continue;
+        }
+        let hit = match kind {
+            InvariantKind::Deadlock => invariants::check_terminal(&st.cluster, &st.queue),
+            _ => invariants::check_state(&st.cluster, hosts).filter(|v| v.kind == kind),
+        };
+        if hit.is_some() {
+            return Some(path[..=i].to_vec());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    /// Tiny exhaustive sweep: one message, one drop allowed. Completes in
+    /// well under a second and must find nothing.
+    #[test]
+    fn tiny_two_host_sweep_is_clean() {
+        let sc = Scenario::two_host(1);
+        let cfg = ExploreConfig {
+            depth: 40,
+            fault_budget: 1,
+            max_states: 20_000,
+        };
+        let r = explore(&sc, &cfg);
+        assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+        assert!(!r.state_cap_hit, "cap hit at {} states", r.states_explored);
+        assert!(r.states_explored > 40, "faults must branch the space");
+        assert!(r.dedup_hits > 0, "interleavings must reconverge");
+    }
+
+    #[test]
+    fn minimize_returns_input_when_nothing_reproduces() {
+        // A clean schedule cannot be shrunk toward a violation it never
+        // exhibits; minimize must hand it back untouched.
+        let sc = Scenario::two_host(1);
+        let path = vec![Action::Step; 5];
+        assert_eq!(minimize(&sc, &path, InvariantKind::DuplicateDelivery), path);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let sc = Scenario::two_host(1);
+        let cfg = ExploreConfig {
+            depth: 30,
+            fault_budget: 1,
+            max_states: 10_000,
+        };
+        let a = explore(&sc, &cfg);
+        let b = explore(&sc, &cfg);
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.frontier_peak, b.frontier_peak);
+    }
+}

@@ -1,0 +1,61 @@
+//! Fixture-driven regression tests: known schedules replayed end to end
+//! with every per-state invariant checked along the way.
+//!
+//! The fixtures are plain-text action schedules (see `itb_check::action`)
+//! captured from checker runs; they pin the reliability layer's behavior
+//! under concrete loss schedules so a future regression reproduces
+//! deterministically from a committed file rather than a re-discovered
+//! search.
+
+use itb_check::action::parse_schedule;
+use itb_check::invariants::{check_state, check_terminal};
+use itb_check::Scenario;
+
+/// Replay `schedule` on a fresh build of `sc`, asserting every reached
+/// state (and the terminal) is invariant-clean. Returns the final state.
+fn replay_checked(sc: &Scenario, schedule: &str) -> itb_check::CheckState {
+    let path = parse_schedule(schedule).expect("fixture must parse");
+    let mut st = sc.build();
+    for (i, &a) in path.iter().enumerate() {
+        assert!(st.apply(a), "fixture action {i} ({a}) failed to apply");
+        assert_eq!(
+            check_state(&st.cluster, sc.num_hosts()),
+            None,
+            "invariant broken after fixture action {i} ({a})"
+        );
+    }
+    assert!(
+        st.queue.is_empty(),
+        "fixture must run its scenario to quiescence"
+    );
+    assert_eq!(
+        check_terminal(&st.cluster, &st.queue),
+        None,
+        "fixture terminal must not be a deadlock"
+    );
+    st
+}
+
+#[test]
+fn drop_recover_fixture_delivers_exactly_once() {
+    let sc = Scenario::two_host(1);
+    let st = replay_checked(&sc, include_str!("fixtures/drop_recover.txt"));
+    // One mid-flight corruption, go-back-N recovery: delivered exactly once.
+    assert_eq!(st.cluster.delivered_count(), 1);
+    assert!(st.cluster.connection_failures().is_empty());
+    assert!(!st.cluster.traffic_pending());
+    assert_eq!(st.cluster.delivery_log().len(), 1);
+}
+
+#[test]
+fn kill_flow_fixture_surfaces_failure_not_deadlock() {
+    let sc = Scenario::two_host(1);
+    let st = replay_checked(&sc, include_str!("fixtures/kill_flow.txt"));
+    // Every data packet dropped until max_retries trips: GM must surface a
+    // connection failure (no silent deadlock) and deliver nothing.
+    assert_eq!(st.cluster.delivered_count(), 0);
+    assert_eq!(
+        st.cluster.connection_failures(),
+        &[(itb_topo::HostId(0), itb_topo::HostId(1))]
+    );
+}

@@ -72,6 +72,54 @@ pub enum HostEvent {
     },
 }
 
+impl HostEvent {
+    /// Fold this event (variant tag + payload) into a model-checker digest.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match *self {
+            HostEvent::AppSend { host } => {
+                d.u8(0);
+                d.u16(host.0);
+            }
+            HostEvent::SubmitPacket { host, token } => {
+                d.u8(1);
+                d.u16(host.0);
+                d.u64(token);
+            }
+            HostEvent::AppDeliver {
+                host,
+                from,
+                len,
+                msg_id,
+            } => {
+                d.u8(2);
+                d.u16(host.0);
+                d.u16(from.0);
+                d.u32(len);
+                d.u32(msg_id);
+            }
+            HostEvent::SendAck { host, to, seq } => {
+                d.u8(3);
+                d.u16(host.0);
+                d.u16(to.0);
+                d.u32(seq);
+            }
+            HostEvent::RetransCheck { host, peer } => {
+                d.u8(4);
+                d.u16(host.0);
+                d.u16(peer.0);
+            }
+            HostEvent::NicCrash { host } => {
+                d.u8(5);
+                d.u16(host.0);
+            }
+            HostEvent::NicRecover { host } => {
+                d.u8(6);
+                d.u16(host.0);
+            }
+        }
+    }
+}
+
 /// The union event type of the whole simulation.
 #[derive(Debug, Clone, Copy)]
 pub enum ClusterEvent {
@@ -87,6 +135,29 @@ pub enum ClusterEvent {
     /// [`Cluster::enable_health`]); sim-time-driven, so sampled runs stay
     /// deterministic.
     Sample,
+}
+
+impl ClusterEvent {
+    /// Fold this event (variant tag + the layer event's own digest) into a
+    /// model-checker digest. Together with [`Cluster::state_digest`] and the
+    /// queue's ordered iteration this canonicalizes a whole world state.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match self {
+            ClusterEvent::Net(e) => {
+                d.u8(0);
+                e.digest_into(d);
+            }
+            ClusterEvent::Nic(e) => {
+                d.u8(1);
+                e.digest_into(d);
+            }
+            ClusterEvent::Host(e) => {
+                d.u8(2);
+                e.digest_into(d);
+            }
+            ClusterEvent::Sample => d.u8(3),
+        }
+    }
 }
 
 /// Queue adapter giving each layer its scheduling trait.
@@ -594,6 +665,90 @@ impl Cluster {
         &self.delivery_log
     }
 
+    /// Fold every behavioral field of the cluster — network, NICs, GM hosts,
+    /// application progress, in-flight bookkeeping — into a model-checker
+    /// digest. Two clusters with equal digests (plus equal event queues)
+    /// evolve identically, so the checker's BFS can merge them.
+    ///
+    /// Deliberately excluded as pure diagnostics: stats counters
+    /// (`app_deliveries`, `drops_observed`, `packets_abandoned`,
+    /// `crashes_injected`, per-layer stat blocks), ping-pong RTT samples,
+    /// the timeline/health observers, and the per-host RNG streams (checker
+    /// scenarios use only deterministic behaviors — Stream/Sink/Echo — whose
+    /// evolution never draws from them). The `delivery_log` IS included: it
+    /// is the substrate of the exactly-once/in-order invariants, so states
+    /// that differ in delivery history must never merge.
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        self.net.state_digest(d);
+        for nic in &self.nics {
+            nic.state_digest(d);
+        }
+        for host in &self.hosts {
+            host.state_digest(d);
+        }
+        for st in &self.ping {
+            d.usize(st.size_ix);
+            d.u32(st.iter);
+            match st.sent_at {
+                Some(t) => {
+                    d.bool(true);
+                    d.u64(t.as_ps());
+                }
+                None => d.bool(false),
+            }
+            d.bool(st.done);
+        }
+        for v in [&self.stream_sent, &self.poisson_sent, &self.a2a_sent] {
+            for &sent in v {
+                d.u32(sent);
+            }
+        }
+        let mut msg_ids: Vec<u32> = self.messages.keys().copied().collect();
+        msg_ids.sort_unstable();
+        d.usize(msg_ids.len());
+        for id in msg_ids {
+            let r = &self.messages[&id];
+            d.u32(id);
+            d.u16(r.src.0);
+            d.u16(r.dst.0);
+            d.u32(r.len);
+            d.u64(r.sent_at.as_ps());
+            match r.delivered_at {
+                Some(t) => {
+                    d.bool(true);
+                    d.u64(t.as_ps());
+                }
+                None => d.bool(false),
+            }
+        }
+        d.u32(self.next_msg_id);
+        d.u64(self.next_token);
+        let mut tokens: Vec<u64> = self.pending_submissions.keys().copied().collect();
+        tokens.sort_unstable();
+        d.usize(tokens.len());
+        for t in tokens {
+            let desc = &self.pending_submissions[&t];
+            d.u64(t);
+            let hdr = desc.header.as_bytes();
+            d.usize(hdr.len());
+            d.bytes(hdr);
+            d.u32(desc.payload_len);
+            d.u64(desc.tag);
+            d.u16(desc.src.0);
+        }
+        d.usize(self.connection_failures.len());
+        for &(a, b) in &self.connection_failures {
+            d.u16(a.0);
+            d.u16(b.0);
+        }
+        d.usize(self.delivery_log.len());
+        for &(from, to, id) in &self.delivery_log {
+            d.u16(from.0);
+            d.u16(to.0);
+            d.u32(id);
+        }
+    }
+
     /// One unified metrics snapshot across all layers at time `now`:
     /// network and per-NIC counters in a flat `layer.name` namespace,
     /// per-link byte/blocking loads and the wormhole blocking-time
@@ -612,6 +767,8 @@ impl Cluster {
             .insert("net.fault_corrupts".into(), n.fault_corrupts);
         s.counters
             .insert("net.link_down_drops".into(), n.link_down_drops);
+        s.counters
+            .insert("net.forced_corrupts".into(), n.forced_corrupts);
         for (i, nic) in self.nics.iter().enumerate() {
             let st = nic.stats();
             for (name, v) in [

@@ -30,8 +30,16 @@ pub struct GmConfig {
     pub retrans_backoff_cap: SimDuration,
     /// Consecutive fruitless retransmission rounds before the connection is
     /// declared failed and its pending traffic abandoned (surfaced as a
-    /// `ConnectionFailed` indication). `0` retries forever, which is GM's
-    /// historical behaviour.
+    /// `ConnectionFailed` indication).
+    ///
+    /// `0` means **unlimited**: the sender retries forever at the capped
+    /// backoff interval and never declares the connection failed — GM's
+    /// historical behaviour, where a dead peer simply stalls the flow until
+    /// an operator intervenes. The retry counter and backoff exponent keep
+    /// advancing (so a late ACK still resets both), but the failure path is
+    /// never taken. Nonzero values trade that liveness for bounded failure
+    /// detection; the model checker's kill-flow fixtures rely on a small
+    /// cap to reach the `ConnectionFailed` terminal.
     pub max_retries: u32,
     /// Maximum packets in flight (unacknowledged) per connection — GM's
     /// send-token flow control. Only meaningful with reliability on.

@@ -366,6 +366,41 @@ impl Host {
     pub fn conn_failed(&self, peer: HostId) -> bool {
         self.tx[peer.idx()].failed
     }
+
+    /// Fold every behavioral field of this host's GM state — per-peer send
+    /// queues, unacked windows, timers, backoff and receive reassembly
+    /// cursors — into a model-checker digest. Diagnostic counters
+    /// (`retransmissions`, `duplicates`) are excluded: they never influence
+    /// a future transition. `sent_at` *is* behavioral (it drives timeout
+    /// eligibility) and is included.
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        d.u16(self.id.0);
+        d.usize(self.tx.len());
+        for conn in &self.tx {
+            d.u32(conn.next_seq);
+            d.usize(conn.send_queue.len());
+            for p in &conn.send_queue {
+                d.u16(p.dst.0);
+                d.u32(p.payload_len);
+                d.u64(p.tag);
+            }
+            d.usize(conn.unacked.len());
+            for p in &conn.unacked {
+                d.u16(p.dst.0);
+                d.u32(p.seq);
+                d.u32(p.payload_len);
+                d.u64(p.tag);
+                d.u64(p.sent_at.as_ps());
+            }
+            d.bool(conn.timer_armed);
+            d.u32(conn.backoff_exp);
+            d.bool(conn.failed);
+        }
+        for conn in &self.rx {
+            d.u32(conn.expected);
+            d.u32(conn.partial_bytes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -650,6 +685,42 @@ mod tests {
             h.check_retransmissions(HostId(1), now + SimDuration::from_ms(100)),
             RetransDecision::Idle
         );
+    }
+
+    #[test]
+    fn max_retries_zero_retries_forever() {
+        // `max_retries == 0` is GM's historical "never give up" mode: the
+        // timer keeps producing go-back-N resends at the capped backoff and
+        // the connection never fails, no matter how many fruitless rounds
+        // pass. Pinned here so the `cfg.max_retries > 0` short-circuit in
+        // `check_retransmissions` cannot silently regress into "fail on the
+        // first round" (0 retries) — see GmConfig::max_retries.
+        let cfg = GmConfig {
+            max_retries: 0,
+            ..GmConfig::default()
+        };
+        let mut h = mk_host_cfg(0, cfg);
+        seg_pump(&mut h, HostId(1), 100, 1);
+        let mut now = SimTime::ZERO;
+        // Far past any plausible cap: default max_retries is 25, so 200
+        // rounds is deep into would-have-failed territory.
+        for round in 0..200 {
+            now += h.retrans_delay(HostId(1));
+            match h.check_retransmissions(HostId(1), now) {
+                RetransDecision::Resend(v) => assert_eq!(v.len(), 1),
+                other => panic!("round {round}: expected endless resends, got {other:?}"),
+            }
+        }
+        assert!(!h.conn_failed(HostId(1)));
+        assert!(h.has_unacked(HostId(1)));
+        // The backoff exponent keeps counting rounds, but the effective
+        // timeout stays clamped at the cap (no overflow at high exponents).
+        assert_eq!(h.tx[1].backoff_exp, 200);
+        assert_eq!(h.retrans_delay(HostId(1)), h.cfg.retrans_backoff_cap);
+        // An ACK still completes the round trip normally.
+        assert!(h.on_ack(HostId(1), 0));
+        assert!(!h.has_unacked(HostId(1)));
+        assert_eq!(h.retrans_delay(HostId(1)), h.cfg.retrans_timeout);
     }
 
     #[test]

@@ -66,6 +66,42 @@ pub enum NetEvent {
     },
 }
 
+impl NetEvent {
+    /// Fold this event (variant tag + payload) into a model-checker digest.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match *self {
+            NetEvent::TxDone { ch } => {
+                d.u8(0);
+                d.u32(ch);
+            }
+            NetEvent::RxFlit {
+                ch,
+                packet,
+                bytes,
+                head,
+                tail,
+            } => {
+                d.u8(1);
+                d.u32(ch);
+                d.u64(packet.0);
+                d.u32(bytes);
+                d.bool(head);
+                d.bool(tail);
+            }
+            NetEvent::RouteReady { sw, port } => {
+                d.u8(2);
+                d.u16(sw.0);
+                d.u8(port.0);
+            }
+            NetEvent::Ctrl { ch, stop } => {
+                d.u8(3);
+                d.u32(ch);
+                d.bool(stop);
+            }
+        }
+    }
+}
+
 /// What the network tells the NIC layer. Drained with
 /// [`Network::take_indications`] after each handled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,6 +335,11 @@ pub struct Network {
     blocking: Accum,
     /// Link-fault injection state (None = clean fabric).
     faults: Option<FaultState>,
+    /// Links held down by direct request ([`Network::set_link_forced_down`]),
+    /// indexed by link. Orthogonal to any [`FaultPlan`] outage windows: the
+    /// model checker drives this overlay to explore link-down interleavings
+    /// without a probabilistic plan.
+    forced_down: Vec<bool>,
     /// Sharded-execution context (None = sequential run).
     shard: Option<NetShardCtx>,
     /// Packets owned by another shard that are currently traversing this
@@ -402,6 +443,7 @@ impl Network {
             tracer: PacketTracer::default(),
             blocking: Accum::new(),
             faults: None,
+            forced_down: vec![false; nl],
             shard: None,
             foreign: FxHashMap::default(),
         }
@@ -589,6 +631,40 @@ impl Network {
         });
     }
 
+    /// Hold `link` down (or bring it back up) by direct request, independent
+    /// of any fault plan. While down, every head flit arriving over the link
+    /// is marked corrupted, exactly like a [`FaultPlan`] outage window — the
+    /// worm still occupies the wire and is discarded by the destination
+    /// NIC's CRC check. The model checker uses this to enumerate link-down
+    /// interleavings deterministically.
+    pub fn set_link_forced_down(&mut self, link: itb_topo::LinkId, down: bool) {
+        self.forced_down[link.idx()] = down;
+    }
+
+    /// Whether `link` is currently held down by
+    /// [`Network::set_link_forced_down`].
+    pub fn link_forced_down(&self, link: itb_topo::LinkId) -> bool {
+        self.forced_down[link.idx()]
+    }
+
+    /// Damage the CRC of a live packet by direct request — the model
+    /// checker's deterministic drop action. The packet keeps traversing the
+    /// wire and is discarded at the destination NIC's completion check, the
+    /// same downstream path every probabilistic fault takes. Returns whether
+    /// the packet existed and was not already corrupted (counted under
+    /// `NetStats::forced_corrupts`).
+    pub fn force_corrupt(&mut self, id: PacketId, now: SimTime) -> bool {
+        match self.pkt_get_mut(id.0) {
+            Some(pkt) if !pkt.corrupted => {
+                pkt.corrupted = true;
+                self.stats.forced_corrupts += 1;
+                self.note(id, "fault.forced", 0, now);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Roll the probabilistic link faults for a packet whose head is being
     /// put onto channel `ch` (the sender-side garbling point). A hit marks
     /// the packet corrupted: it still occupies the wire to its destination,
@@ -619,18 +695,18 @@ impl Network {
         }
     }
 
-    /// Check the scheduled outage windows for a head flit arriving over
-    /// channel `ch` at `now`; inside a window the packet is lost (marked
-    /// corrupted, counted separately).
+    /// Check the scheduled outage windows — and the forced-down overlay —
+    /// for a head flit arriving over channel `ch` at `now`; on a downed
+    /// link the packet is lost (marked corrupted, counted separately).
     fn check_link_down(&mut self, ch: u32, id: PacketId, now: SimTime) {
-        let Some(f) = self.faults.as_ref() else {
-            return;
-        };
         let lid = (ch / 2) as usize;
-        let hit = f.down[lid]
-            .iter()
-            .any(|&(from, until)| from <= now && now < until);
-        if !hit {
+        let forced = self.forced_down[lid];
+        let windowed = self.faults.as_ref().is_some_and(|f| {
+            f.down[lid]
+                .iter()
+                .any(|&(from, until)| from <= now && now < until)
+        });
+        if !forced && !windowed {
             return;
         }
         // detlint::allow(S001, packet ids stay live in the registry until delivery removes them)
@@ -1469,5 +1545,95 @@ impl Network {
             .collect();
         v.sort();
         v
+    }
+
+    /// Fold every *behavioral* field of the network — channel serializer and
+    /// flow-control state, switch input buffers, host send/receive ports,
+    /// the in-flight packet registry and the forced-down overlay — into `d`.
+    ///
+    /// Pure diagnostics (byte counters, pause-time accumulators, packet
+    /// timelines, the lifecycle tracer) are deliberately excluded: two
+    /// worlds that differ only in such counters dispatch identical futures,
+    /// and folding them in would make the model checker explore the same
+    /// behavior many times over. Probabilistic fault state (`FaultPlan` RNG)
+    /// is also excluded — the checker drives faults through the
+    /// deterministic [`Network::force_corrupt`] /
+    /// [`Network::set_link_forced_down`] hooks instead, and never installs a
+    /// plan.
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        fn digest_port(d: &mut itb_sim::Digest, p: Option<PortIx>) {
+            match p {
+                None => d.u8(0),
+                Some(px) => {
+                    d.u8(1);
+                    d.u8(px.0);
+                }
+            }
+        }
+        d.usize(self.chans.len());
+        for c in &self.chans {
+            d.bool(c.tx_busy);
+            d.bool(c.paused);
+            d.bool(c.finishing);
+            digest_port(d, c.grant);
+            digest_port(d, c.last_granted);
+            d.usize(c.waiting.len());
+            for &w in &c.waiting {
+                d.u8(w.0);
+            }
+        }
+        for ports in &self.inputs {
+            for inp in ports.iter().flatten() {
+                d.u32(inp.occupancy);
+                d.bool(inp.stopped);
+                d.bool(inp.route_pending);
+                d.usize(inp.queue.len());
+                for p in &inp.queue {
+                    d.u64(p.id.0);
+                    d.bool(p.routed);
+                    d.bool(p.granted);
+                    digest_port(d, p.out_port);
+                    d.u32(p.received);
+                    d.u32(p.forwarded);
+                    d.bool(p.tail_seen);
+                }
+            }
+        }
+        for hp in &self.hosts {
+            d.usize(hp.tx_queue.len());
+            for p in &hp.tx_queue {
+                d.u64(p.id.0);
+                d.u32(p.total);
+                d.u32(p.avail);
+                d.u32(p.sent);
+            }
+            match &hp.rx_current {
+                None => d.u8(0),
+                Some(rx) => {
+                    d.u8(1);
+                    d.u64(rx.id.0);
+                    d.u32(rx.received);
+                }
+            }
+        }
+        // The registry, in id order (the slab iterates ids ascending; the
+        // checker never runs sharded, so `foreign` is empty).
+        d.usize(self.in_flight());
+        for id in self.parked_packets() {
+            let st = self.packet(id);
+            d.u64(id.0);
+            let hdr = st.desc.header.as_bytes();
+            d.usize(hdr.len());
+            d.bytes(hdr);
+            d.u32(st.desc.payload_len);
+            d.u64(st.desc.tag);
+            d.u16(st.desc.src.0);
+            d.bool(st.corrupted);
+        }
+        d.u64(self.next_packet);
+        d.usize(self.indications.len());
+        for &down in &self.forced_down {
+            d.bool(down);
+        }
     }
 }

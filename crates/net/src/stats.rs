@@ -20,6 +20,9 @@ pub struct NetStats {
     pub fault_corrupts: u64,
     /// Packets lost to a scheduled link-down window.
     pub link_down_drops: u64,
+    /// Packets CRC-damaged on direct request (the model checker's
+    /// deterministic drop action; never incremented by seeded fault plans).
+    pub forced_corrupts: u64,
 }
 
 #[cfg(test)]
@@ -36,5 +39,6 @@ mod tests {
         assert_eq!(s.fault_drops, 0);
         assert_eq!(s.fault_corrupts, 0);
         assert_eq!(s.link_down_drops, 0);
+        assert_eq!(s.forced_corrupts, 0);
     }
 }

@@ -63,6 +63,16 @@ impl HostDma {
         }
     }
 
+    /// Fold the engine's behavioral state — busy flag plus the queued
+    /// transfers in FIFO order — into a model-checker digest.
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        d.bool(self.busy);
+        d.usize(self.queue.len());
+        for job in &self.queue {
+            job.digest_into(d);
+        }
+    }
+
     fn cost(job: DmaJob, t: &McpTiming) -> itb_sim::SimDuration {
         let bytes = match job {
             DmaJob::SdmaChunk { bytes, .. } | DmaJob::RdmaChunk { bytes, .. } => bytes,

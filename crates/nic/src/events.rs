@@ -75,6 +75,60 @@ pub enum DmaJob {
     },
 }
 
+impl CpuWork {
+    /// Fold this work item (variant tag + payload) into a model-checker
+    /// digest.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match *self {
+            CpuWork::EarlyRecv { packet } => {
+                d.u8(0);
+                d.u64(packet.0);
+            }
+            CpuWork::ItbForward { packet } => {
+                d.u8(1);
+                d.u64(packet.0);
+            }
+            CpuWork::SendProgram { token } => {
+                d.u8(2);
+                d.u64(token);
+            }
+            CpuWork::RecvFinish { packet } => {
+                d.u8(3);
+                d.u64(packet.0);
+            }
+            CpuWork::RecvDeliver { packet } => {
+                d.u8(4);
+                d.u64(packet.0);
+            }
+        }
+    }
+}
+
+impl DmaJob {
+    /// Fold this transfer (variant tag + payload) into a model-checker
+    /// digest.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match *self {
+            DmaJob::SdmaChunk { token, bytes, last } => {
+                d.u8(0);
+                d.u64(token);
+                d.u32(bytes);
+                d.bool(last);
+            }
+            DmaJob::RdmaChunk {
+                packet,
+                bytes,
+                last,
+            } => {
+                d.u8(1);
+                d.u64(packet.0);
+                d.u32(bytes);
+                d.bool(last);
+            }
+        }
+    }
+}
+
 /// Events owned by one NIC (the `host` field routes them in the cluster).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NicEvent {
@@ -92,6 +146,24 @@ pub enum NicEvent {
         /// The finished transfer.
         job: DmaJob,
     },
+}
+
+impl NicEvent {
+    /// Fold this event (variant tag + payload) into a model-checker digest.
+    pub fn digest_into(&self, d: &mut itb_sim::Digest) {
+        match *self {
+            NicEvent::Cpu { host, work } => {
+                d.u8(0);
+                d.u16(host.0);
+                work.digest_into(d);
+            }
+            NicEvent::Dma { host, job } => {
+                d.u8(1);
+                d.u16(host.0);
+                job.digest_into(d);
+            }
+        }
+    }
 }
 
 /// What the NIC reports up to the GM host layer. Drained by the cluster

@@ -183,6 +183,58 @@ impl Nic {
         }
     }
 
+    /// Fold every behavioral field of this NIC — CPU availability, DMA
+    /// engine, send jobs, receive-pool ownership, pending/deferred queues
+    /// and the crash flag — into a model-checker digest. Receptions are
+    /// folded in packet-id order so the hash-map iteration order never
+    /// leaks in. Pure counters ([`Nic::stats`]) are excluded: they never
+    /// influence a future transition.
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        d.bool(self.crashed);
+        d.u64(self.cpu_free_at.as_ps());
+        d.u8(self.send_buffers_free);
+        d.u8(self.recv_buffers_free);
+        self.dma.state_digest(d);
+        d.usize(self.send_queue.len());
+        for j in &self.send_queue {
+            d.u64(j.token);
+            d.u64(j.packet.0);
+            d.bool(j.desc.is_some());
+            d.u32(j.wire_len);
+            d.u32(j.staged);
+            d.bool(j.staging);
+        }
+        let mut ids: Vec<u64> = self.recv.keys().copied().collect();
+        ids.sort_unstable();
+        d.usize(ids.len());
+        for id in ids {
+            let st = &self.recv[&id];
+            d.u64(id);
+            d.u32(st.received);
+            d.bool(st.complete);
+            match st.kind {
+                RecvKind::Deferred => d.u8(0),
+                RecvKind::Unknown => d.u8(1),
+                RecvKind::Normal => d.u8(2),
+                RecvKind::InTransit { injecting } => {
+                    d.u8(3);
+                    d.bool(injecting);
+                }
+                RecvKind::Flushed => d.u8(4),
+            }
+            d.bool(st.owns_buffer);
+        }
+        d.usize(self.itb_pending.len());
+        for p in &self.itb_pending {
+            d.u64(p.0);
+        }
+        d.usize(self.deferred_heads.len());
+        for p in &self.deferred_heads {
+            d.u64(p.0);
+        }
+        d.usize(self.outputs.len());
+    }
+
     /// Debug: in-transit packets awaiting the send DMA.
     pub fn pending_itb_len(&self) -> usize {
         self.itb_pending.len()

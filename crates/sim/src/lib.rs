@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod digest;
 pub mod engine;
 pub mod fxmap;
 pub mod par;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use digest::Digest;
 pub use engine::{run_for, run_until, run_while, World};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use par::{run_shards, Envelope, ParReport, ShardWorld};

@@ -239,6 +239,29 @@ impl<E> EventQueue<E> {
         self.cross_shard_ties
     }
 
+    /// Visit every pending entry in pop order — `(time, rank_time, event)`
+    /// sorted by the full `(time, rank_time, rank)` key — without disturbing
+    /// the heap.
+    ///
+    /// This exists for the model checker's world digest: the heap's array
+    /// layout depends on insertion history, but the *pop order* is the
+    /// canonical meaning of the queue's contents. The raw `rank` is
+    /// deliberately not exposed: its low bits are an ever-increasing
+    /// schedule counter, so two worlds that will dispatch identical events
+    /// at identical times would digest differently if the counter leaked
+    /// in. Relative order among ties is conveyed by iteration position,
+    /// which is all a digest needs (newly scheduled entries always receive
+    /// larger sequence numbers than every pending entry, so position is a
+    /// faithful stand-in for the counter).
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (SimTime, SimTime, &E)> {
+        let mut ix: Vec<usize> = (0..self.heap.len()).collect();
+        ix.sort_unstable_by_key(|&i| self.heap[i].key());
+        ix.into_iter().map(move |i| {
+            let e = &self.heap[i];
+            (e.time, e.rank_time, &e.event)
+        })
+    }
+
     /// Timestamp of the next event without popping it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -449,6 +472,21 @@ mod tests {
         q.schedule_ranked(SimTime::from_ns(20), SimTime::from_ns(5), 2, "b");
         while q.pop().is_some() {}
         assert_eq!(q.cross_shard_ties(), 1);
+    }
+
+    #[test]
+    fn iter_ordered_matches_pop_order() {
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(SimTime::from_ns(x % 37), i);
+        }
+        let snapshot: Vec<(SimTime, u64)> = q.iter_ordered().map(|(t, _, &e)| (t, e)).collect();
+        let popped: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(snapshot, popped);
     }
 
     #[test]

@@ -30,7 +30,7 @@ echo "== cargo clippy --lib (strict: truncating casts, unwraps) =="
 # clippy.toml (allow-unwrap-in-tests) and #[cfg(test)] scoping.
 cargo clippy --lib \
   -p itb-sim -p itb-topo -p itb-routing -p itb-obs -p itb-net \
-  -p itb-nic -p itb-gm -p itb-core -p itb-bench -p itb-lint \
+  -p itb-nic -p itb-gm -p itb-core -p itb-bench -p itb-lint -p itb-check \
   -- -D warnings -D clippy::cast_possible_truncation -D clippy::unwrap_used
 
 echo "== cargo fmt --check =="
@@ -44,7 +44,9 @@ perf_b=$(mktemp -d)
 par_a=$(mktemp -d)
 par_b=$(mktemp -d)
 stall_a=$(mktemp -d)
-trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b" "$stall_a"' EXIT
+mc_a=$(mktemp -d)
+mc_b=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b" "$stall_a" "$mc_a" "$mc_b"' EXIT
 # --strict-health makes the run a health gate: the fault schedule must stay
 # clean under the stall watchdog, buffer-leak audit and counter checks.
 ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke --strict-health
@@ -67,6 +69,17 @@ echo "== perf smoke (tiny gauntlet, deterministic digest twice) =="
 ITB_RESULTS_DIR="$perf_a" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
 ITB_RESULTS_DIR="$perf_b" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
 cmp "$perf_a/perf_gauntlet_digest.json" "$perf_b/perf_gauntlet_digest.json"
+
+echo "== model check smoke (exhaustive interleavings, zero violations) =="
+# Depth-bounded exhaustive BFS over delivery/fault interleavings on the
+# two-host configs; any invariant violation (duplicate / reordered
+# delivery, buffer leak, silent deadlock) exits nonzero with a minimized
+# reproduction schedule. The binary itself asserts zero depth truncation,
+# so coverage at the stated fault budget is exhaustive, and the report
+# must be byte-identical across a double run.
+ITB_RESULTS_DIR="$mc_a" cargo run --release -q -p itb-bench --bin model_check -- --smoke
+ITB_RESULTS_DIR="$mc_b" cargo run --release -q -p itb-bench --bin model_check -- --smoke
+cmp "$mc_a/model_check.json" "$mc_b/model_check.json"
 
 echo "== parallel determinism (ITB_THREADS=1 vs 4, byte-identical digest) =="
 # The sharded conservative-PDES engine must reproduce the sequential event
