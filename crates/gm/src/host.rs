@@ -143,8 +143,10 @@ pub struct Host {
     /// This host's id.
     pub id: HostId,
     /// Configuration (shared cluster-wide).
+    // detlint::allow(T003, per-run GM configuration: fixed before the first event and never mutated)
     pub cfg: GmConfig,
     /// The mapper-installed route table.
+    // detlint::allow(T003, per-run routing function: fixed at mapper install time; route choices land in digested packet state)
     pub routes: Arc<RouteTable>,
     /// Per-peer sender state (indexed by peer host).
     pub tx: Vec<ConnTx>,

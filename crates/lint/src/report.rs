@@ -1,7 +1,15 @@
 //! Machine report for `results/detlint.json`, written with a hand-rolled
 //! JSON emitter — the lint crate depends on nothing, including the vendored
 //! serde stubs, so the gate can never be broken by the code it gates.
+//!
+//! v2 additions: the call-graph stats block (function/struct/edge counts and
+//! call-resolution totals, so a resolution regression in the parser or the
+//! graph is visible in review), the analyzer wall time, and a stable
+//! *fingerprint* per finding — an FNV-1a hash over (rule, file, message,
+//! same-message occurrence index) that survives line drift, so diffs of the
+//! committed artifact show real rule-state changes, not renumbered lines.
 
+use crate::callgraph::GraphStats;
 use crate::rules::{Finding, RULES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -11,6 +19,10 @@ use std::fmt::Write as _;
 pub struct LintReport {
     pub files_scanned: usize,
     pub findings: Vec<Finding>,
+    /// Call-graph totals from the pipeline's third stage.
+    pub stats: GraphStats,
+    /// Analyzer wall time, stamped by the CLI (0 in library use).
+    pub wall_ms: u64,
 }
 
 impl LintReport {
@@ -30,14 +42,44 @@ impl LintReport {
         m
     }
 
+    /// Line-independent fingerprints, parallel to `findings`: FNV-1a 64 over
+    /// rule, file, message and the occurrence index among findings sharing
+    /// all three (so two identical unwrap-allows in one file keep distinct,
+    /// stable ids when unrelated lines shift).
+    pub fn fingerprints(&self) -> Vec<u64> {
+        let mut seen: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
+        self.findings
+            .iter()
+            .map(|f| {
+                let k = (f.rule, f.file.as_str(), f.message.as_str());
+                let ix = seen.entry(k).or_insert(0);
+                let fp = fingerprint(f, *ix);
+                *ix += 1;
+                fp
+            })
+            .collect()
+    }
+
     /// Render the JSON document. Key order and finding order are fixed, so
-    /// the artifact is byte-stable for a given tree.
+    /// the artifact is byte-stable for a given tree (the `wall_ms` stamp is
+    /// the one run-varying field; CI never byte-compares this artifact).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"version\": 2,");
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "  \"unallowed_findings\": {},", self.unallowed().count());
+        let _ = writeln!(s, "  \"wall_ms\": {},", self.wall_ms);
+        let _ = writeln!(
+            s,
+            "  \"callgraph\": {{\"functions\": {}, \"structs\": {}, \"edges\": {}, \
+             \"resolved_calls\": {}, \"unresolved_calls\": {}}},",
+            self.stats.functions,
+            self.stats.structs,
+            self.stats.edges,
+            self.stats.resolved_calls,
+            self.stats.unresolved_calls
+        );
         s.push_str("  \"summary\": {");
         let summary = self.summary();
         for (i, (rule, n)) in summary.iter().enumerate() {
@@ -48,12 +90,15 @@ impl LintReport {
         }
         s.push_str("},\n");
         s.push_str("  \"findings\": [");
-        for (i, f) in self.findings.iter().enumerate() {
+        let fps = self.fingerprints();
+        for (i, (f, fp)) in self.findings.iter().zip(fps).enumerate() {
             s.push_str(if i > 0 { ",\n    " } else { "\n    " });
             let _ = write!(
                 s,
-                "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"allowed\": {}, ",
+                "{{\"rule\": \"{}\", \"fingerprint\": \"{:016x}\", \"file\": \"{}\", \
+                 \"line\": {}, \"allowed\": {}, ",
                 f.rule,
+                fp,
                 escape(&f.file),
                 f.line,
                 f.allowed
@@ -72,6 +117,25 @@ impl LintReport {
         s.push_str("]\n}\n");
         s
     }
+}
+
+/// FNV-1a 64 of one finding's stable identity.
+fn fingerprint(f: &Finding, occurrence: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(f.rule.as_bytes());
+    eat(&[0]);
+    eat(f.file.as_bytes());
+    eat(&[0]);
+    eat(f.message.as_bytes());
+    eat(&[0]);
+    eat(&occurrence.to_le_bytes());
+    h
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).

@@ -34,11 +34,21 @@
 //! * **A000** — a `detlint::allow` annotation that is malformed, names an
 //!   unknown rule, or omits the reason. Allows are part of the audit trail;
 //!   a reasonless allow is itself a finding and suppresses nothing.
+//!
+//! D002 additionally flags `std::env::var`/`env!` in sim-side code:
+//! environment-dependent behaviour is cross-machine nondeterminism. Benches
+//! stay exempt (`ITB_THREADS` is how the perf harness sweeps shard counts).
+//!
+//! The flow/taint rules **T001**–**T003** live in [`crate::taint`] and run
+//! over the workspace call graph rather than single files; their ids are
+//! registered here so allows and the report summary cover them.
 
-use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::lexer::{Comment, Lexed, TokKind, Token};
 
 /// All rule identifiers, in report order.
-pub const RULES: &[&str] = &["A000", "D001", "D002", "D003", "S001", "S002", "U001"];
+pub const RULES: &[&str] = &[
+    "A000", "D001", "D002", "D003", "S001", "S002", "T001", "T002", "T003", "U001",
+];
 
 /// One finding. `allowed` findings are kept in the report (audit trail) but
 /// do not fail the gate.
@@ -90,6 +100,12 @@ const SIM_SIDE: &[&str] = &[
     "itb-myrinet",
 ];
 
+/// Does crate `krate` run inside the simulation clock domain? (Shared with
+/// the taint rules: T001 roots its reachability analysis in these crates.)
+pub fn is_sim_side(krate: &str) -> bool {
+    SIM_SIDE.contains(&krate)
+}
+
 /// Classify a workspace-relative path, or `None` if detlint does not scan it
 /// (vendor stubs emulate external crates' APIs — `criterion` legitimately
 /// reads `Instant` — and fixture corpora contain deliberate violations).
@@ -129,12 +145,21 @@ pub fn classify(path: &str) -> Option<FileClass> {
 }
 
 /// A parsed `detlint::allow` annotation (rule id, then a required reason).
-struct Allow {
-    rule: String,
-    reason: String,
+pub(crate) struct Allow {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
     /// Line the comment starts on; the allow covers this line and the next.
-    line: u32,
-    well_formed: bool,
+    pub(crate) line: u32,
+    pub(crate) well_formed: bool,
+}
+
+/// All allow annotations in one lexed file.
+pub(crate) fn file_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        parse_allows(c, &mut allows);
+    }
+    allows
 }
 
 /// Extract every `detlint::allow` annotation from a comment. A comment may
@@ -273,14 +298,19 @@ fn punct_is(toks: &[Token], i: usize, c: char) -> bool {
     matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct(c))
 }
 
-/// Lint one file's source under its path-derived classification.
+/// Lint one file's source under its path-derived classification: the full
+/// pipeline (lexical rules plus call-graph taint rules) on a one-file
+/// workspace. Cross-crate taint obviously needs more than one file — use
+/// [`crate::Workspace`] for that — but T002/T003 and the intra-file half of
+/// T001 all fire here, which is what the fixture corpus exercises.
 pub fn lint_source(class: &FileClass, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let mut allows = Vec::new();
-    for c in &lexed.comments {
-        parse_allows(c, &mut allows);
-    }
+    let files = vec![(class.clone(), src.to_string())];
+    crate::analyze_sources(&files).1
+}
 
+/// The per-file lexical rules, raw (allows not yet applied; A000 findings
+/// for the malformed allows included).
+pub(crate) fn lexical_findings(class: &FileClass, lexed: &Lexed, allows: &[Allow]) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
     // Malformed allows are findings in their own right and never suppress.
     for a in allows.iter().filter(|a| !a.well_formed) {
@@ -308,18 +338,23 @@ pub fn lint_source(class: &FileClass, src: &str) -> Vec<Finding> {
     let in_test = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
     let lib_code = |line: u32| class.kind == FileKind::Lib && !in_test(line);
 
-    check_d001(class, &lexed, &mut raw);
-    check_d002(class, &lexed, &mut raw);
-    check_d003(class, &lexed, &mut raw);
-    check_s001(class, &lexed, &lib_code, &mut raw);
-    check_s002(class, &lexed, &lib_code, &mut raw);
-    check_u001(class, &lexed, &mut raw);
+    check_d001(class, lexed, &mut raw);
+    check_d002(class, lexed, &mut raw);
+    check_d003(class, lexed, &mut raw);
+    check_s001(class, lexed, &lib_code, &mut raw);
+    check_s002(class, lexed, &lib_code, &mut raw);
+    check_u001(class, lexed, &mut raw);
+    raw
+}
 
-    // Dedup repeated hits of one rule on one line (e.g. two `HashSet`
-    // mentions in a single declaration), then apply allows.
+/// Dedup repeated hits of one rule on one line (e.g. two `HashSet` mentions
+/// in a single declaration), then apply the file's allows. This is the final
+/// per-file step for lexical *and* taint findings — an allow covers its own
+/// line and the next, whichever stage produced the finding.
+pub(crate) fn apply_allows(raw: &mut Vec<Finding>, allows: &[Allow]) {
     raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     raw.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.rule != "A000");
-    for f in &mut raw {
+    for f in raw.iter_mut() {
         if f.rule == "A000" {
             continue;
         }
@@ -330,7 +365,6 @@ pub fn lint_source(class: &FileClass, src: &str) -> Vec<Finding> {
             f.reason = Some(a.reason.clone());
         }
     }
-    raw
 }
 
 /// D001: default-hasher std maps.
@@ -403,6 +437,36 @@ fn check_d002(class: &FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
                 allowed: false,
                 reason: None,
             });
+        }
+        // Environment reads in sim-side code: `env::var`/`env::var_os` and
+        // the `env!`/`option_env!` macros make behaviour depend on the host
+        // environment — cross-machine nondeterminism. Benches are exempt
+        // (ITB_THREADS is the sanctioned perf-harness knob), as is the
+        // non-sim bench crate itself.
+        let env_exempt = class.kind == FileKind::Bench
+            || class.krate == "bench"
+            || !SIM_SIDE.contains(&class.krate.as_str());
+        if !env_exempt {
+            let is_env_call = t.text == "env"
+                && punct_is(toks, i + 1, ':')
+                && punct_is(toks, i + 2, ':')
+                && matches!(toks.get(i + 3), Some(s) if s.kind == TokKind::Ident
+                    && matches!(s.text.as_str(), "var" | "var_os"));
+            let is_env_macro =
+                (t.text == "env" || t.text == "option_env") && punct_is(toks, i + 1, '!');
+            if is_env_call || is_env_macro {
+                out.push(Finding {
+                    rule: "D002",
+                    file: class.path.clone(),
+                    line: t.line,
+                    message: "environment read in sim-side code — behaviour that varies \
+                              with the host environment is cross-machine nondeterminism; \
+                              route configuration through explicit parameters or seeds"
+                        .to_string(),
+                    allowed: false,
+                    reason: None,
+                });
+            }
         }
     }
 }

@@ -1,0 +1,66 @@
+//! The rule catalog in README.md is the contract surface of the gate:
+//! every rule that can appear in the committed report must be documented
+//! there, and every rule the analyzer knows must have a catalog row.
+
+use itb_lint::rules::RULES;
+
+fn repo_file(rel: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+    std::fs::read_to_string(format!("{path}{rel}")).unwrap_or_else(|e| panic!("reading {rel}: {e}"))
+}
+
+/// Rule IDs appearing anywhere in the committed JSON report.
+fn report_rules(json: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in json.split("\"rule\": \"").skip(1) {
+        let id = part.split('"').next().unwrap_or("");
+        if !out.iter().any(|r| r == id) {
+            out.push(id.to_string());
+        }
+    }
+    out
+}
+
+/// Catalog rows look like `| T001 | ... |`.
+fn catalog_has_row(readme: &str, rule: &str) -> bool {
+    readme.lines().any(|l| {
+        let l = l.trim_start();
+        l.starts_with(&format!("| {rule} ")) || l.starts_with(&format!("|{rule}"))
+    })
+}
+
+#[test]
+fn every_reported_rule_is_in_the_readme_catalog() {
+    let readme = repo_file("README.md");
+    let report = repo_file("results/detlint.json");
+    let seen = report_rules(&report);
+    assert!(!seen.is_empty(), "committed report lists findings");
+    for rule in &seen {
+        assert!(
+            catalog_has_row(&readme, rule),
+            "rule {rule} appears in results/detlint.json but has no README catalog row"
+        );
+    }
+}
+
+#[test]
+fn every_known_rule_is_in_the_readme_catalog() {
+    let readme = repo_file("README.md");
+    for rule in RULES {
+        assert!(
+            catalog_has_row(&readme, rule),
+            "rule {rule} is in itb_lint::rules::RULES but has no README catalog row"
+        );
+    }
+}
+
+#[test]
+fn report_rules_are_all_known() {
+    let report = repo_file("results/detlint.json");
+    for rule in report_rules(&report) {
+        assert!(
+            RULES.contains(&rule.as_str()),
+            "results/detlint.json names unknown rule {rule} — regenerate the artifact"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Negative corpus for the D002 environment arm: lookalikes and sanctioned
+//! shapes that must not be flagged in sim-side code.
+
+/// A local binding named `env` is not an environment read.
+pub fn lookalike_binding(env: u64) -> u64 {
+    env + 1
+}
+
+/// Struct fields and method names spelled `var` are fine.
+pub struct Sampler {
+    pub var: f64,
+}
+
+impl Sampler {
+    pub fn var_os(&self) -> f64 {
+        self.var
+    }
+}
+
+/// An explicitly reasoned read stays on the audit trail without failing
+/// the gate.
+pub fn sanctioned_read() -> Option<String> {
+    // detlint::allow(D002, test-only escape hatch documented in DESIGN; value never reaches sim state)
+    std::env::var("ITB_TRACE").ok()
+}

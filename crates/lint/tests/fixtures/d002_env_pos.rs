@@ -1,0 +1,17 @@
+//! Positive corpus for the D002 environment arm: env reads in sim-side
+//! code are cross-machine nondeterminism.
+
+pub fn shard_count() -> usize {
+    std::env::var("ITB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn results_root() -> Option<std::ffi::OsString> {
+    std::env::var_os("ITB_RESULTS_DIR")
+}
+
+pub fn build_id() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}

@@ -1,0 +1,8 @@
+//! T001 corpus: the sim/event-path entry point, two crates away from the
+//! wall-clock read (`gm` → `core` → `bench`). Only the call graph can see
+//! this chain.
+
+/// Event-path work that launders a wall reading through two helpers.
+pub fn on_tick() -> u64 {
+    itb_core::measure_section()
+}

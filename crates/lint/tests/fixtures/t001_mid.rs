@@ -1,0 +1,8 @@
+//! T001 corpus: the middle hop — a sim-side (core) helper that forwards a
+//! wall-clock reading from the bench crate. Lexically clean: nothing in
+//! this file mentions `Instant`, which is exactly what D002 cannot see.
+
+/// Measure one section; looks innocent, reaches the stopwatch.
+pub fn measure_section() -> u64 {
+    itb_bench::stopwatch_ns()
+}

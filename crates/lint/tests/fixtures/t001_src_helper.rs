@@ -1,0 +1,11 @@
+//! T001 corpus: the nondeterminism source — a wall-clock stopwatch helper
+//! in the (non-sim) bench crate. The D002 hit is allowed here; T001 is
+//! about the *callers* that launder the reading into sim-side code.
+
+/// Wall nanoseconds since `t0` — bench-harness plumbing.
+pub fn stopwatch_ns() -> u64 {
+    // detlint::allow(D002, bench stopwatch: wall time is the measurement itself)
+    let t0 = std::time::Instant::now();
+    let n = t0.elapsed().as_nanos();
+    u64::try_from(n).unwrap_or(u64::MAX)
+}

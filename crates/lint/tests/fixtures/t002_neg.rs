@@ -1,0 +1,34 @@
+//! T002 corpus (negative): the sanctioned shapes — collect and sort the
+//! keys before the order-sensitive work, or iterate without an
+//! order-sensitive sink.
+
+use itb_sim::FxHashMap;
+
+pub struct Waiters {
+    pending: FxHashMap<u64, u64>,
+}
+
+impl Waiters {
+    /// Sorted-first: the loop iterates a sorted `Vec`, not the map.
+    pub fn flush(&mut self, now: u64) {
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(&t) = self.pending.get(&id) {
+                schedule_wakeup(id, t.max(now));
+            }
+        }
+    }
+
+    /// Order-insensitive folds over the map are fine: no event, no digest,
+    /// no artifact inside the loop body.
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, &t) in self.pending.iter() {
+            sum += t;
+        }
+        sum
+    }
+}
+
+fn schedule_wakeup(_id: u64, _t: u64) {}

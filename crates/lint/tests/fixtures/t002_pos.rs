@@ -1,0 +1,29 @@
+//! T002 corpus: a `for` loop directly over an `FxHashMap` whose body
+//! schedules an event — iteration order (insertion order) leaks into the
+//! event queue.
+
+use itb_sim::FxHashMap;
+
+pub struct Waiters {
+    pending: FxHashMap<u64, u64>,
+}
+
+impl Waiters {
+    /// Wakes every waiter — in map iteration order. Nondeterministic under
+    /// any insertion-order change.
+    pub fn flush(&mut self, now: u64) {
+        for (&id, &t) in self.pending.iter() {
+            schedule_wakeup(id, t.max(now));
+        }
+    }
+
+    /// A digest fed straight from the unordered map is the same hazard.
+    pub fn fold(&self, d: &mut itb_sim::Digest) {
+        for (&id, &t) in self.pending.iter() {
+            d.u64(id);
+            d.u64(t);
+        }
+    }
+}
+
+fn schedule_wakeup(_id: u64, _t: u64) {}

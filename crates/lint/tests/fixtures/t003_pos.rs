@@ -1,0 +1,19 @@
+//! T003 corpus: a struct with a `state_digest` hook and a behavioral field
+//! the digest forgot — the model checker would merge states that diverge.
+
+pub struct PortState {
+    credits: u32,
+    parked: u64,
+    last_seq: u32,
+}
+
+impl PortState {
+    pub fn state_digest(&self, d: &mut itb_sim::Digest) {
+        d.u32(self.credits);
+        d.u64(self.parked);
+    }
+
+    pub fn advance(&mut self) {
+        self.last_seq = self.last_seq.wrapping_add(1);
+    }
+}

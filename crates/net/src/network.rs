@@ -311,12 +311,15 @@ impl NetShardCtx {
 
 /// The complete network model. See crate docs.
 pub struct Network {
+    // detlint::allow(T003, per-run wiring: the topology is fixed before the first event and never mutated)
     topo: Topology,
+    // detlint::allow(T003, per-run timing/arbitration configuration: fixed before the first event and never mutated)
     cfg: NetConfig,
     chans: Vec<Channel>,
     /// `[switch][port]` — input-port state for cabled ports.
     inputs: Vec<Vec<Option<InputPort>>>,
     /// `[switch][port]` — outgoing channel index for cabled ports.
+    // detlint::allow(T003, derived routing index: rebuilt from the digested topology and never mutated)
     out_chan: Vec<Vec<Option<u32>>>,
     hosts: Vec<HostPort>,
     /// Registry of live packets. Ids are monotonic and short-lived, so a
@@ -325,15 +328,20 @@ pub struct Network {
     next_packet: u64,
     indications: Vec<HostIndication>,
     /// Timelines of retired packets (kept only when timelines are on).
+    // detlint::allow(T003, observability sidecar: retired-packet timelines are exported, never read by a transition)
     retired_timelines: Vec<(PacketId, Vec<TimelineEntry>)>,
+    // detlint::allow(T003, diagnostics counters: never read by a transition)
     stats: NetStats,
     /// Shared packet-lifecycle tracer: the network owns it because every
     /// layer (NIC firmware, GM host software) holds `&mut Network` at its
     /// instrumentation points. Disabled by default.
+    // detlint::allow(T003, observability sidecar: trace records are exported, never read by a transition)
     tracer: PacketTracer,
     /// Durations of individual STOP-pause intervals, any channel (ns).
+    // detlint::allow(T003, diagnostics accumulator: never read by a transition)
     blocking: Accum,
     /// Link-fault injection state (None = clean fabric).
+    // detlint::allow(T003, probabilistic fault stream: exercised only by the chaos soak; checker runs drive faults through the digested forced-down overlay)
     faults: Option<FaultState>,
     /// Links held down by direct request ([`Network::set_link_forced_down`]),
     /// indexed by link. Orthogonal to any [`FaultPlan`] outage windows: the

@@ -361,6 +361,7 @@ where
                     // the global minimum g.
                     let mine = world.next_time().map_or(IDLE, SimTime::as_ps);
                     next_times[me].store(mine, Ordering::SeqCst);
+                    // detlint::allow(T001, barrier-wait stopwatch: the reading lands only in WindowRecord sidecars and never feeds back into sim state)
                     let ((), barrier_a_wait_ns) = wall_ns(profile, || {
                         barrier_a.wait();
                     });
@@ -408,6 +409,7 @@ where
                         });
                     }
                     windows += 1;
+                    // detlint::allow(T001, barrier-wait stopwatch: the reading lands only in WindowRecord sidecars and never feeds back into sim state)
                     let ((), barrier_b_wait_ns) = wall_ns(profile, || {
                         barrier_b.wait();
                     });

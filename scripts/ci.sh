@@ -14,12 +14,16 @@ cargo test -q
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
-echo "== detlint (determinism & soundness analyzer, hard gate) =="
-# Zero-dependency lexical analyzer: default-hasher maps, wall-clock time in
-# sim code, float event-time arithmetic, library unwrap/expect/panic without
-# a stated invariant, narrowing `as` casts, missing #![deny(unsafe_code)].
-# Exits nonzero on any unallowed finding; the JSON report is the audit trail.
-cargo run --release -q -p itb-lint --bin detlint
+echo "== detlint v2 (determinism & soundness analyzer, hard gate) =="
+# Zero-dependency lex -> parse -> call-graph -> rules pipeline: default-hasher
+# maps, wall-clock/entropy/environment reads in sim code, float event-time
+# arithmetic, library unwrap/expect/panic without a stated invariant,
+# narrowing `as` casts, missing #![deny(unsafe_code)], plus the cross-crate
+# taint rules (T001 transitive nondeterminism reach, T002 unordered-iteration
+# sinks, T003 state-digest completeness). Exits nonzero on any unallowed
+# finding; the JSON report is the audit trail. The soft wall-time budget
+# keeps the gate honest about its own cost (self-benchmark in the report).
+cargo run --release -q -p itb-lint --bin detlint -- --budget-ms 15000
 echo "   report: results/detlint.json"
 
 echo "== cargo clippy (deny warnings, incl. perf lints) =="
@@ -46,7 +50,9 @@ par_b=$(mktemp -d)
 stall_a=$(mktemp -d)
 mc_a=$(mktemp -d)
 mc_b=$(mktemp -d)
-trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b" "$stall_a" "$mc_a" "$mc_b"' EXIT
+dl_a=$(mktemp -d)
+dl_b=$(mktemp -d)
+trap 'rm -rf "$chaos_a" "$chaos_b" "$perf_a" "$perf_b" "$par_a" "$par_b" "$stall_a" "$mc_a" "$mc_b" "$dl_a" "$dl_b"' EXIT
 # --strict-health makes the run a health gate: the fault schedule must stay
 # clean under the stall watchdog, buffer-leak audit and counter checks.
 ITB_RESULTS_DIR="$chaos_a" cargo run --release -q -p itb-bench --bin chaos_soak -- --smoke --strict-health
@@ -80,6 +86,16 @@ echo "== model check smoke (exhaustive interleavings, zero violations) =="
 ITB_RESULTS_DIR="$mc_a" cargo run --release -q -p itb-bench --bin model_check -- --smoke
 ITB_RESULTS_DIR="$mc_b" cargo run --release -q -p itb-bench --bin model_check -- --smoke
 cmp "$mc_a/model_check.json" "$mc_b/model_check.json"
+
+echo "== static deadlock-freedom audit (CDG acyclicity, byte-identical) =="
+# Dally & Seitz: a route set is deadlock-free iff its channel dependency
+# graph is acyclic. Every shipped route set (fig6, gauntlet presets,
+# irregular64, a fresh 1024-switch fabric) must be acyclic; the cyclic
+# all-clockwise ring control must be flagged with its witness cycle. The
+# audit is the static complement of the model checker above.
+ITB_RESULTS_DIR="$dl_a" cargo run --release -q -p itb-bench --bin deadlock_audit > /dev/null
+ITB_RESULTS_DIR="$dl_b" cargo run --release -q -p itb-bench --bin deadlock_audit > /dev/null
+cmp "$dl_a/deadlock_audit.json" "$dl_b/deadlock_audit.json"
 
 echo "== parallel determinism (ITB_THREADS=1 vs 4, byte-identical digest) =="
 # The sharded conservative-PDES engine must reproduce the sequential event
