@@ -1,0 +1,128 @@
+//! Perf-regression gate over the committed `BENCH_perf.json` trajectory.
+//!
+//! Compares the newest trajectory entry against the one before it and
+//! fails (exit 1) if any scenario's events/sec dropped by more than the
+//! tolerance — the gate that would have caught the `itb-deep-obs` entry,
+//! where `large_load_32sw` fell 4.06 → 1.19 Mev/s and nothing complained.
+//!
+//! Numbers in the trajectory are wall-clock measurements, so the
+//! tolerance is deliberately loose (20%): run-to-run noise on one machine
+//! is a few percent, a hot-path regression is 2-4x. When a drop is
+//! *intentional* (hardware change, a scenario redefinition), re-baseline
+//! explicitly instead of loosening the gate:
+//!
+//! ```text
+//! ITB_BENCH_BASELINE_RESET=1 scripts/ci.sh
+//! ```
+//!
+//! which skips the comparison for that run and says so. The vendored
+//! serde_json only serializes, so this bin parses the file's line
+//! discipline directly: one trajectory entry per line, written by
+//! `perf_gauntlet::update_bench_perf` — that writer is the format's
+//! single source of truth.
+
+#![deny(unsafe_code)]
+
+use std::process::ExitCode;
+
+/// Fractional drop in events/sec that fails the gate.
+const TOLERANCE: f64 = 0.20;
+
+/// Pull `"label":"…"` and the `"events_per_sec":[["name",num],…]` pairs
+/// out of one trajectory line. Returns `None` for non-entry lines (the
+/// JSON envelope braces and header fields).
+fn parse_entry(line: &str) -> Option<(String, Vec<(String, f64)>)> {
+    let rest = line.split("\"label\":\"").nth(1)?;
+    let label = rest.split('"').next()?.to_string();
+    // Cut at the array's `]]` terminator so the pair scan cannot run on
+    // into the allocs_per_packet array that follows on the same line.
+    let arr = line
+        .split("\"events_per_sec\":[")
+        .nth(1)?
+        .split("]]")
+        .next()?;
+    let mut pairs = Vec::new();
+    // Pairs look like `["large_load_32sw",4062334.75]`; the scenario names
+    // are identifiers, so splitting on `["` cannot hit a name byte.
+    for chunk in arr.split("[\"").skip(1) {
+        let mut it = chunk.splitn(2, '"');
+        let name = it.next()?.to_string();
+        let tail = it.next()?;
+        let num = tail
+            .trim_start_matches(',')
+            .split([']', ','])
+            .next()?
+            .trim();
+        pairs.push((name, num.parse::<f64>().ok()?));
+    }
+    Some((label, pairs))
+}
+
+fn main() -> ExitCode {
+    if std::env::var("ITB_BENCH_BASELINE_RESET").is_ok_and(|v| !v.is_empty() && v != "0") {
+        println!("perf gate: ITB_BENCH_BASELINE_RESET set — skipping the trajectory comparison");
+        println!("perf gate: the next full gauntlet run becomes the new baseline");
+        return ExitCode::SUCCESS;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!("perf gate: no {} yet — nothing to compare", path.display());
+        return ExitCode::SUCCESS;
+    };
+    let entries: Vec<(String, Vec<(String, f64)>)> = text.lines().filter_map(parse_entry).collect();
+    if entries.len() < 2 {
+        println!(
+            "perf gate: {} trajectory entr{} — nothing to compare",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (prev_label, prev) = &entries[entries.len() - 2];
+    let (cur_label, cur) = &entries[entries.len() - 1];
+    println!(
+        "perf gate: {prev_label} -> {cur_label} (tolerance: -{:.0}%)",
+        TOLERANCE * 100.0
+    );
+    let mut failures = Vec::new();
+    for (name, prev_v) in prev {
+        // Scenarios only present in the previous entry (renamed/retired)
+        // are skipped; brand-new scenarios have no baseline yet.
+        let Some((_, cur_v)) = cur.iter().find(|(n, _)| n == name) else {
+            println!("  {name:<22} dropped from the current entry — skipped");
+            continue;
+        };
+        let ratio = cur_v / prev_v.max(1e-9);
+        let verdict = if ratio < 1.0 - TOLERANCE {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<22} {:>10.2} -> {:>10.2} kev/s  ({:+.1}%)  {verdict}",
+            prev_v / 1e3,
+            cur_v / 1e3,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - TOLERANCE {
+            failures.push(name.clone());
+        }
+    }
+    if failures.is_empty() {
+        println!("perf gate: ok");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf gate: FAILED — events/sec regressed >{:.0}% on: {}",
+            TOLERANCE * 100.0,
+            failures.join(", ")
+        );
+        println!(
+            "perf gate: if the drop is intentional, re-run the full gauntlet on this machine and \
+             commit the new entry, or set ITB_BENCH_BASELINE_RESET=1 to acknowledge it"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -20,7 +20,7 @@
 #![deny(unsafe_code)]
 
 use itb_core::ClusterSpec;
-use itb_gm::{AppBehavior, Cluster, ClusterEvent, ParRunReport};
+use itb_gm::{AppBehavior, Cluster, ClusterEvent, FlowWorld, FlowWorldSpec, ParRunReport};
 use itb_nic::McpFlavor;
 use itb_obs::export::{write_par_windows_chrome_trace, ParTraceMeta};
 use itb_routing::{figures, RoutingPolicy};
@@ -103,15 +103,15 @@ impl ScenarioReport {
 /// dispatched events and allocation cost.
 fn measure(
     name: &str,
-    mut cluster: Cluster,
-    mut q: EventQueue<ClusterEvent>,
+    cluster: &mut Cluster,
+    q: &mut EventQueue<ClusterEvent>,
     run: impl FnOnce(&mut Cluster, &mut EventQueue<ClusterEvent>),
 ) -> ScenarioReport {
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
     // detlint::allow(D002, wall-clock section: Mev/s and allocs/packet are host-side metrics)
     let t0 = Instant::now();
-    run(&mut cluster, &mut q);
+    run(cluster, q);
     let wall_s = t0.elapsed().as_secs_f64();
     let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
     let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
@@ -152,7 +152,7 @@ fn fig6_pingpong(iters: u32) -> ScenarioReport {
     let mut cluster = spec.build(behaviors);
     let mut q = EventQueue::new();
     cluster.start(&mut q);
-    measure("fig6_pingpong_itb", cluster, q, |c, q| {
+    measure("fig6_pingpong_itb", &mut cluster, &mut q, |c, q| {
         run_while(c, q, |c| !c.all_pingpongs_done());
     })
 }
@@ -173,7 +173,7 @@ fn perm_stream_16sw(count: u32) -> ScenarioReport {
     let mut q = EventQueue::new();
     cluster.start(&mut q);
     let expected = n * count as usize;
-    measure("perm_stream_16sw", cluster, q, move |c, q| {
+    measure("perm_stream_16sw", &mut cluster, &mut q, move |c, q| {
         run_while(c, q, |c| c.delivered_count() < expected);
     })
 }
@@ -319,7 +319,18 @@ fn fill_speedups(runs: &mut [ParScenario]) {
 /// simulated window. This is the workload class the ROADMAP's bigger
 /// multistage studies need to be cheap. With `ITB_THREADS>1` the run goes
 /// through the sharded engine — same digest, by construction.
-fn large_load_32sw(window_us: u64, threads: u32) -> (ScenarioReport, Option<ParScenario>) {
+///
+/// `sample` turns on timeline + health sampling (full mode, sequential
+/// runs only): the committed BENCH trajectory prices observability in, so
+/// a regression in the sampling path shows up as a throughput regression
+/// here. Smoke runs keep sampling off — the CI 1-vs-4-thread digest
+/// byte-compare needs identical event counts, and the sharded engine
+/// cannot sample (see `Cluster::set_shard`).
+fn large_load_32sw(
+    window_us: u64,
+    threads: u32,
+    sample: bool,
+) -> (ScenarioReport, Option<ParScenario>) {
     let horizon = SimTime::ZERO + SimDuration::from_us(window_us);
     if threads > 1 {
         let (spec, behaviors) = load_spec(32);
@@ -335,14 +346,29 @@ fn large_load_32sw(window_us: u64, threads: u32) -> (ScenarioReport, Option<ParS
     }
     let (spec, behaviors) = load_spec(32);
     let mut cluster = spec.build(behaviors);
+    if sample {
+        cluster.enable_timeline(SimDuration::from_us(50));
+        cluster.enable_health(SimDuration::from_us(50), SimDuration::from_ms(50));
+    }
     let mut q = EventQueue::new();
     cluster.start(&mut q);
-    (
-        measure("large_load_32sw", cluster, q, move |c, q| {
-            run_until(c, q, horizon);
-        }),
-        None,
-    )
+    let report = measure("large_load_32sw", &mut cluster, &mut q, move |c, q| {
+        run_until(c, q, horizon);
+    });
+    if sample {
+        // Prove the observers actually ran, then write their artifacts.
+        let t = cluster.take_timeline().expect("timeline was enabled");
+        assert!(!t.is_empty(), "a sampled load run must record intervals");
+        itb_bench::dump_stream("large_load_32sw_timeline.jsonl", |w| t.write_jsonl(w));
+        let h = cluster.health_report(q.now()).expect("health was enabled");
+        assert!(
+            h.healthy,
+            "loaded 32sw run must stay healthy: {:?}",
+            h.violations
+        );
+        itb_bench::dump_stream("large_load_32sw_health.json", |w| h.write_json(w));
+    }
+    (report, None)
 }
 
 /// A profiled parallel run, kept for the window-utilization sidecars: the
@@ -418,6 +444,94 @@ fn large_load_64sw_par(
     (digest_scenario.expect("sweep is non-empty"), runs, profiled)
 }
 
+/// The planet-scale scenario: the 1024-switch irregular fabric (4096
+/// hosts) driven entirely by the hybrid engine's flow side. A packet-level
+/// Cluster at this scale would precompute ~16.7 million source routes
+/// before the first event fired; the flow engine models the same fabric
+/// with per-flow max-min rates and coarse solve rounds, which is the whole
+/// point of the hybrid split.
+///
+/// Throughput accounting: a flow round does real modelling work for every
+/// live flow (rate solve share + service commit), so the scenario reports
+/// *equivalent events* — dispatched queue events plus per-flow service
+/// touches (`FlowWorld::service_ops`). The BENCH trajectory gates on that
+/// number; `injected` counts opened flows so allocs/packet reads as
+/// allocations per flow.
+///
+/// Full mode runs 4096 hosts x 30 flows (122 880 flows, >100k live at the
+/// peak — asserted, it is the scenario's reason to exist). Smoke mode
+/// shrinks the fabric but keeps the exact same code path for the CI digest
+/// byte-compare; the flow engine is sequential either way, so the 1-vs-4
+/// thread compare holds trivially.
+fn large_load_1024sw(smoke: bool) -> ScenarioReport {
+    let (topo, spec) = if smoke {
+        (
+            itb_topo::builders::irregular_big(24, itb_topo::builders::IRREGULAR1024_SEED),
+            FlowWorldSpec {
+                flows_per_host: 4,
+                flow_bytes: 16_384,
+                mean_gap: SimDuration::from_us(50),
+                round: SimDuration::from_us(200),
+                seed: 1024,
+                link_bytes_per_ns: 0.16,
+            },
+        )
+    } else {
+        (
+            itb_topo::builders::irregular1024(),
+            FlowWorldSpec {
+                flows_per_host: 30,
+                flow_bytes: 65_536,
+                mean_gap: SimDuration::from_us(100),
+                round: SimDuration::from_ms(1),
+                seed: 1024,
+                link_bytes_per_ns: 0.16,
+            },
+        )
+    };
+    let total_flows = u64::from(spec.flows_per_host) * topo.num_hosts() as u64;
+    let mut w = FlowWorld::new(&topo, spec);
+    let mut q = EventQueue::new();
+    w.start(&mut q);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    // detlint::allow(D002, wall-clock section: Mev/s and allocs/packet are host-side metrics)
+    let t0 = Instant::now();
+    // The queue drains itself once the last flow delivers; the generous
+    // horizon is a stuck-run backstop, not a workload parameter.
+    run_until(&mut w, &mut q, SimTime::ZERO + SimDuration::from_ms(60_000));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+    assert_eq!(w.delivered(), total_flows, "every flow must drain");
+    if !smoke {
+        assert!(
+            w.peak_live() >= 100_000,
+            "planet-scale scenario must hold 100k+ concurrent flows (peak_live={})",
+            w.peak_live()
+        );
+    }
+    let events = q.events_dispatched() + w.service_ops();
+    eprintln!(
+        "  1024sw: flows={total_flows} peak_live={} solves={} rounds_sim_us={:.0}",
+        w.peak_live(),
+        w.solves(),
+        q.now().as_us_f64()
+    );
+    ScenarioReport {
+        name: "large_load_1024sw".to_string(),
+        events,
+        sim_us: q.now().as_us_f64(),
+        delivered: w.delivered(),
+        injected: total_flows,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        allocs,
+        alloc_bytes,
+        allocs_per_packet: allocs as f64 / total_flows.max(1) as f64,
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct GauntletReport {
     mode: &'static str,
@@ -462,7 +576,7 @@ fn main() {
         "running perf gauntlet ({}, ITB_THREADS={threads})...",
         if smoke { "smoke" } else { "full" }
     );
-    let (ll32, mut par_runs_opt) = large_load_32sw(window_us, threads);
+    let (ll32, mut par_runs_opt) = large_load_32sw(window_us, threads, !smoke);
     // Profile the sweep run matching ITB_THREADS; when the env choice is
     // not in the sweep (full mode with an off-sweep ITB_THREADS), profile
     // the widest run so the sidecar always exists.
@@ -479,6 +593,7 @@ fn main() {
         perm_stream_16sw(stream_count),
         ll32,
         ll64,
+        large_load_1024sw(smoke),
     ];
 
     println!("# Perf gauntlet — simulator wall-clock throughput");

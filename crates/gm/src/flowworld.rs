@@ -1,0 +1,239 @@
+//! A standalone flow-only world for planet-scale topologies.
+//!
+//! The full [`Cluster`](crate::Cluster) keeps a per-pair route table —
+//! fine at testbed scale, but a 1024-switch, 4096-host fabric would need
+//! ~16.7 million source routes before the first event fires. For the
+//! scaling experiments the hybrid engine's *flow side is the whole
+//! machine*: [`FlowWorld`] drives a [`FlowNet`] directly under the same
+//! deterministic event queue, with seeded arrivals, coarse rate-solve
+//! rounds, and per-completion delivery events.
+//!
+//! Every structure mirrors the hybrid Cluster's flow mode (same solver,
+//! same [`ByteInterval`](itb_sim::ByteInterval) quantisation, same
+//! round/advance cycle), so throughput measured here is the flow engine's
+//! honest cost — the things the Cluster adds (GM windows, the packet
+//! fabric) are exactly the things the 1024-switch scenario is designed to
+//! avoid.
+
+use itb_net::FlowNet;
+use itb_sim::{narrow, EventQueue, SimDuration, SimRng, SimTime, World};
+use itb_topo::{HostId, Topology};
+
+/// Events of the flow-only world.
+#[derive(Debug, Clone, Copy)]
+pub enum FlowWorldEvent {
+    /// Host `host` opens its next flow (seeded destination and size).
+    Arrival {
+        /// The opening host.
+        host: u32,
+    },
+    /// Round boundary: re-solve rates, commit one round of service.
+    Round,
+    /// A flow's bytes fully arrived at its destination.
+    Deliver {
+        /// The completed flow's id.
+        id: u64,
+    },
+}
+
+/// Workload parameters for [`FlowWorld`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowWorldSpec {
+    /// Flows each host opens over the run.
+    pub flows_per_host: u32,
+    /// Bytes per flow.
+    pub flow_bytes: u64,
+    /// Mean inter-arrival gap per host (exponential, quantised through
+    /// the sanctioned crossing).
+    pub mean_gap: SimDuration,
+    /// Rate-solve round length.
+    pub round: SimDuration,
+    /// Master seed for the per-host arrival streams.
+    pub seed: u64,
+    /// Link capacity in bytes/ns (0.16 = the 160 MB/s Myrinet link).
+    pub link_bytes_per_ns: f64,
+}
+
+/// The flow-only machine: a [`FlowNet`] under an event loop.
+pub struct FlowWorld {
+    net: FlowNet,
+    hosts: usize,
+    spec: FlowWorldSpec,
+    rngs: Vec<SimRng>,
+    opened: Vec<u32>,
+    next_id: u64,
+    round_armed: bool,
+    delivered: u64,
+    peak_live: usize,
+    /// Per-flow service touches across all rounds — the flow engine's
+    /// equivalent of dispatched flit events, for throughput accounting.
+    service_ops: u64,
+}
+
+impl FlowWorld {
+    /// Build the world over `topo`. O(V·E) route preprocessing happens
+    /// here (see [`FlowNet::new`]).
+    pub fn new(topo: &Topology, spec: FlowWorldSpec) -> Self {
+        let hosts = topo.num_hosts();
+        assert!(hosts >= 2, "flows need two hosts");
+        let master = SimRng::new(spec.seed);
+        FlowWorld {
+            net: FlowNet::new(topo, spec.link_bytes_per_ns),
+            hosts,
+            spec,
+            rngs: (0..hosts as u64).map(|h| master.child(h)).collect(),
+            opened: vec![0; hosts],
+            next_id: 0,
+            round_armed: false,
+            delivered: 0,
+            peak_live: 0,
+            service_ops: 0,
+        }
+    }
+
+    /// Schedule every host's first arrival.
+    pub fn start(&mut self, q: &mut EventQueue<FlowWorldEvent>) {
+        for h in 0..self.hosts {
+            if self.spec.flows_per_host == 0 {
+                break;
+            }
+            let gap = self.rngs[h].exp(self.spec.mean_gap.as_ns_f64());
+            q.schedule(
+                SimTime::ZERO + SimDuration::from_ns_f64(gap),
+                FlowWorldEvent::Arrival { host: narrow(h) },
+            );
+        }
+    }
+
+    /// Flows fully delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Most flows ever live at once (the scenario's concurrency witness).
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Flows currently live.
+    pub fn live(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Per-flow service touches across all rounds (flow-engine equivalent
+    /// of dispatched flit events).
+    pub fn service_ops(&self) -> u64 {
+        self.service_ops
+    }
+
+    /// Rate solves run so far.
+    pub fn solves(&self) -> u64 {
+        self.net.solves()
+    }
+
+    /// Total bytes delivered.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.net.bytes_delivered()
+    }
+
+    fn on_arrival(&mut self, host: u32, now: SimTime, q: &mut EventQueue<FlowWorldEvent>) {
+        let h = host as usize;
+        if self.opened[h] >= self.spec.flows_per_host {
+            return;
+        }
+        self.opened[h] += 1;
+        // Uniform random destination other than self — the same discipline
+        // as the Poisson cluster workload.
+        let mut dst = narrow::<u16, _>(self.rngs[h].below(self.hosts as u64 - 1));
+        if usize::from(dst) >= h {
+            dst += 1;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.net
+            .open(id, HostId(narrow(h)), HostId(dst), self.spec.flow_bytes);
+        self.peak_live = self.peak_live.max(self.net.len());
+        if !self.round_armed {
+            self.round_armed = true;
+            q.schedule(now + self.spec.round, FlowWorldEvent::Round);
+        }
+        if self.opened[h] < self.spec.flows_per_host {
+            let gap = self.rngs[h].exp(self.spec.mean_gap.as_ns_f64());
+            q.schedule_after(
+                SimDuration::from_ns_f64(gap),
+                FlowWorldEvent::Arrival { host },
+            );
+        }
+    }
+
+    fn on_round(&mut self, now: SimTime, q: &mut EventQueue<FlowWorldEvent>) {
+        self.net.solve();
+        self.service_ops += self.net.len() as u64;
+        for done in self.net.advance(self.spec.round) {
+            q.schedule(now + done.offset, FlowWorldEvent::Deliver { id: done.id });
+        }
+        if self.net.is_empty() {
+            self.round_armed = false;
+        } else {
+            q.schedule(now + self.spec.round, FlowWorldEvent::Round);
+        }
+    }
+}
+
+impl World for FlowWorld {
+    type Event = FlowWorldEvent;
+
+    fn handle(&mut self, now: SimTime, ev: FlowWorldEvent, q: &mut EventQueue<FlowWorldEvent>) {
+        match ev {
+            FlowWorldEvent::Arrival { host } => self.on_arrival(host, now, q),
+            FlowWorldEvent::Round => self.on_round(now, q),
+            FlowWorldEvent::Deliver { .. } => self.delivered += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itb_sim::run_until;
+    use itb_topo::builders;
+
+    fn small_spec(seed: u64) -> FlowWorldSpec {
+        FlowWorldSpec {
+            flows_per_host: 3,
+            flow_bytes: 4_096,
+            mean_gap: SimDuration::from_us(20),
+            round: SimDuration::from_us(50),
+            seed,
+            link_bytes_per_ns: 0.16,
+        }
+    }
+
+    #[test]
+    fn drains_every_flow_and_counts_concurrency() {
+        let topo = builders::irregular_big(8, 3);
+        let mut w = FlowWorld::new(&topo, small_spec(42));
+        let mut q = EventQueue::new();
+        w.start(&mut q);
+        run_until(&mut w, &mut q, SimTime::from_ms(500));
+        let total = u64::from(w.spec.flows_per_host) * topo.num_hosts() as u64;
+        assert_eq!(w.delivered(), total, "every flow completes");
+        assert_eq!(w.live(), 0);
+        assert!(w.peak_live() > 1, "arrivals overlap");
+        assert_eq!(w.bytes_delivered(), total * 4_096);
+        assert!(w.solves() > 0 && w.service_ops() > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let topo = builders::irregular_big(8, 3);
+            let mut w = FlowWorld::new(&topo, small_spec(7));
+            let mut q = EventQueue::new();
+            w.start(&mut q);
+            run_until(&mut w, &mut q, SimTime::from_ms(500));
+            (w.delivered(), w.peak_live(), w.service_ops(), q.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

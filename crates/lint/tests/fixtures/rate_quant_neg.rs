@@ -1,0 +1,21 @@
+// The pinned rate-rounding rule (false-positive corpus): a solved f64
+// rate crosses to integer sim time exactly once, through
+// ByteInterval::from_rate — which truncates the reciprocal interval via
+// SimDuration::from_ns_f64 and therefore rounds the *effective rate* up —
+// and every downstream completion/byte computation is integer arithmetic
+// on the quantised interval.
+use itb_sim::{ByteInterval, SimDuration, SimTime};
+
+pub fn completion_good(rate_bytes_per_ns: f64, remaining: u64, now: SimTime) -> SimTime {
+    let interval = ByteInterval::from_rate(rate_bytes_per_ns);
+    now + interval.time_for(remaining)
+}
+
+pub fn window_bytes_good(window: SimDuration, interval: ByteInterval) -> u64 {
+    interval.bytes_in(window)
+}
+
+pub fn arrival_gap_good(gap_ns: f64) -> SimDuration {
+    // The one sanctioned float -> time crossing.
+    SimDuration::from_ns_f64(gap_ns)
+}

@@ -1,0 +1,16 @@
+// True positives for the rate-rounding rule: solved flow rates crossing
+// into event time ad hoc, bypassing the ByteInterval quantisation
+// boundary. The truncation direction of each call site is then unpinned
+// and drifts independently.
+use itb_sim::{SimDuration, SimTime};
+
+pub fn completion_bad(rate_bytes_per_ns: f64, remaining: u64, now: SimTime) -> SimTime {
+    // Raw float division straight into an integer-time constructor.
+    let offset = SimDuration::from_ns((remaining as f64 / rate_bytes_per_ns) as u64);
+    now + offset
+}
+
+pub fn round_start_bad(now: SimTime) -> u64 {
+    // Float readback recast to integer: the same hazard on the read side.
+    now.as_ns_f64() as u64
+}

@@ -136,6 +136,24 @@ fn d003_allows_integer_time_and_audited_helpers() {
     assert!(unallowed(&fs, "D003").is_empty(), "{fs:?}");
 }
 
+// The hybrid engine's rate-rounding rule, pinned as a fixture pair: a
+// solved f64 flow rate must cross to integer sim time exactly once,
+// through `ByteInterval::from_rate` (truncate the reciprocal interval →
+// round the effective rate up); ad-hoc float-to-time crossings in rate
+// code are D003 findings.
+#[test]
+fn d003_flags_ad_hoc_rate_to_time_crossings() {
+    let fs = lint_fixture("crates/net/src/code.rs", "rate_quant_pos.rs");
+    // from_ns(float expr) in the completion calc + as_ns_f64 recast.
+    assert_eq!(unallowed(&fs, "D003").len(), 2, "{fs:?}");
+}
+
+#[test]
+fn d003_accepts_byteinterval_quantisation() {
+    let fs = lint_fixture("crates/net/src/code.rs", "rate_quant_neg.rs");
+    assert!(unallowed(&fs, "D003").is_empty(), "{fs:?}");
+}
+
 #[test]
 fn d003_only_applies_to_sim_side_crates() {
     let fs = lint_fixture("crates/lint/src/code.rs", "d003_pos.rs");

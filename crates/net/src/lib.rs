@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod fault;
+pub mod flow;
 pub mod network;
 pub mod packet;
 pub mod slab;
@@ -35,5 +36,6 @@ pub mod stats;
 
 pub use config::{FallThrough, NetConfig};
 pub use fault::{FaultPlan, HostCrash, LinkDownWindow, LinkFault};
+pub use flow::{Flow, FlowCompletion, FlowNet};
 pub use network::{HostIndication, NetEvent, NetHandoff, NetSched, Network};
 pub use packet::{PacketDesc, PacketId};

@@ -1502,6 +1502,42 @@ impl Network {
             .collect()
     }
 
+    /// The link names of [`Network::link_load`] alone, in the same order —
+    /// the schema half of the frame sampling path. Built once per run; the
+    /// per-sample values come from [`Network::fill_link_loads`].
+    pub fn link_names(&self) -> Vec<String> {
+        fn name(n: Node) -> String {
+            match n {
+                Node::Host(h) => format!("h{}", h.idx()),
+                Node::Switch(s) => format!("s{}", s.idx()),
+            }
+        }
+        self.topo
+            .link_ids()
+            .map(|lid| {
+                let link = self.topo.link(lid);
+                format!("{}-{}", name(link.a.node), name(link.b.node))
+            })
+            .collect()
+    }
+
+    /// Numeric half of [`Network::link_load`]: per link, `[fwd_bytes,
+    /// rev_bytes, fwd_blocked_ns, rev_blocked_ns]` in
+    /// [`Network::link_names`] order, appended to `out`. Allocation-free
+    /// when `out` has capacity — this is the per-sample hot path.
+    pub fn fill_link_loads(&self, out: &mut Vec<[u64; 4]>) {
+        for lid in self.topo.link_ids() {
+            let fwd = &self.chans[lid.idx() * 2];
+            let rev = &self.chans[lid.idx() * 2 + 1];
+            out.push([
+                fwd.bytes_sent,
+                rev.bytes_sent,
+                fwd.paused_total.as_ps() / 1_000,
+                rev.paused_total.as_ps() / 1_000,
+            ]);
+        }
+    }
+
     /// Debug: human-readable location summary of an in-flight packet — is it
     /// queued at a host TX, buffered in a switch input, or being received?
     pub fn locate_packet(&self, id: PacketId) -> String {

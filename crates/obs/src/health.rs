@@ -23,6 +23,7 @@
 //! `results/health_report.json`; strict-mode runs exit nonzero when the
 //! report is unhealthy.
 
+use crate::frame::{MetricsFrame, MetricsSchema};
 use crate::metrics::Snapshot;
 use serde::Serialize;
 use std::io;
@@ -115,6 +116,7 @@ impl HealthReport {
 pub struct HealthMonitor {
     cfg: HealthConfig,
     prev: Option<Snapshot>,
+    prev_frame: Option<MetricsFrame>,
     last_progress_ns: u64,
     in_stall: bool,
     samples: u64,
@@ -130,6 +132,14 @@ fn link_bytes(s: &Snapshot) -> u64 {
         .fold(0u64, u64::saturating_add)
 }
 
+/// Frame-path twin of [`link_bytes`].
+fn frame_link_bytes(f: &MetricsFrame) -> u64 {
+    f.links
+        .iter()
+        .map(|l| l[0].saturating_add(l[1]))
+        .fold(0u64, u64::saturating_add)
+}
+
 impl HealthMonitor {
     /// A monitor with the given watchdog budget.
     ///
@@ -141,6 +151,7 @@ impl HealthMonitor {
         HealthMonitor {
             cfg,
             prev: None,
+            prev_frame: None,
             last_progress_ns: 0,
             in_stall: false,
             samples: 0,
@@ -177,6 +188,77 @@ impl HealthMonitor {
             }
         }
         self.prev = Some(snap.clone());
+        if pending
+            && !self.in_stall
+            && at.saturating_sub(self.last_progress_ns) >= self.cfg.stall_budget_ns
+        {
+            self.in_stall = true;
+            return true;
+        }
+        false
+    }
+
+    /// Allocation-free twin of [`Self::observe`] for the frame sampling
+    /// path: counter and link comparison is positional (index `i` against
+    /// index `i`), so the monitor never builds a string unless a value
+    /// actually regressed. The previous frame is retained by in-place copy
+    /// — steady state performs zero allocations.
+    ///
+    /// The violation message format is identical to the snapshot path
+    /// (pinned by tests), so health reports do not depend on which path
+    /// fed the monitor.
+    pub fn observe_frame(
+        &mut self,
+        frame: &MetricsFrame,
+        schema: &MetricsSchema,
+        pending: bool,
+    ) -> bool {
+        debug_assert_eq!(frame.counters.len(), schema.counter_keys.len());
+        debug_assert_eq!(frame.links.len(), schema.link_names.len());
+        self.samples += 1;
+        let at = frame.at_ns;
+        if let Some(prev) = &self.prev_frame {
+            for (i, (&v, &b)) in frame.counters.iter().zip(&prev.counters).enumerate() {
+                if v < b {
+                    let k = &schema.counter_keys[i];
+                    self.violations.push(Violation {
+                        check: "counter_conservation".into(),
+                        at_ns: at,
+                        detail: format!("counter {k} regressed: {b} -> {v}"),
+                        blocked: Vec::new(),
+                    });
+                }
+            }
+            for (i, (l, bl)) in frame.links.iter().zip(&prev.links).enumerate() {
+                for (field, b, v) in [
+                    ("fwd_bytes", bl[0], l[0]),
+                    ("rev_bytes", bl[1], l[1]),
+                    ("fwd_blocked_ns", bl[2], l[2]),
+                    ("rev_blocked_ns", bl[3], l[3]),
+                ] {
+                    if v < b {
+                        let name = &schema.link_names[i];
+                        self.violations.push(Violation {
+                            check: "counter_conservation".into(),
+                            at_ns: at,
+                            detail: format!("link {name} {field} regressed: {b} -> {v}"),
+                            blocked: Vec::new(),
+                        });
+                    }
+                }
+            }
+            let delivered = schema.counter_index("net.delivered");
+            let progressed = delivered.is_some_and(|i| frame.counters[i] != prev.counters[i])
+                || frame_link_bytes(frame) != frame_link_bytes(prev);
+            if progressed {
+                self.last_progress_ns = at;
+                self.in_stall = false;
+            }
+        }
+        match &mut self.prev_frame {
+            Some(p) => p.copy_from(frame),
+            None => self.prev_frame = Some(frame.clone()),
+        }
         if pending
             && !self.in_stall
             && at.saturating_sub(self.last_progress_ns) >= self.cfg.stall_budget_ns
@@ -347,6 +429,52 @@ mod tests {
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].check, "buffer_leak");
         assert!(r.violations[0].detail.contains("node 1"));
+    }
+
+    #[test]
+    fn frame_observe_matches_snapshot_observe() {
+        use crate::frame::{MetricsFrame, MetricsSchema};
+        let schema = MetricsSchema::new(vec!["net.delivered".into()], vec!["h0-s0".into()]);
+        let mut frame = MetricsFrame::for_schema(&schema);
+        let feed = |f: &mut MetricsFrame, at: u64, delivered: u64, fwd: u64| {
+            f.at_ns = at;
+            f.counters[0] = delivered;
+            f.links[0] = [fwd, 0, 0, 0];
+        };
+
+        // Same series through both paths: progress, stall, regression.
+        let series: [(u64, u64, u64); 5] = [
+            (100, 0, 64),
+            (600, 0, 128),
+            (1700, 0, 128),
+            (2400, 1, 256),
+            (2500, 0, 256),
+        ];
+        let mut via_snap = HealthMonitor::new(HealthConfig {
+            stall_budget_ns: 1000,
+        });
+        let mut via_frame = HealthMonitor::new(HealthConfig {
+            stall_budget_ns: 1000,
+        });
+        for (at, delivered, fwd) in series {
+            let fired_a = via_snap.observe(&snap(at, delivered, fwd), true);
+            feed(&mut frame, at, delivered, fwd);
+            let fired_b = via_frame.observe_frame(&frame, &schema, true);
+            assert_eq!(fired_a, fired_b, "at {at}");
+            if fired_a {
+                via_snap.flag_stall(at, Vec::new());
+                via_frame.flag_stall(at, Vec::new());
+            }
+        }
+        let (a, b) = (via_snap.finish(3000), via_frame.finish(3000));
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.healthy);
+        // The last sample regressed net.delivered: both paths flag it with
+        // the identical message.
+        assert!(a
+            .violations
+            .iter()
+            .any(|v| v.detail == "counter net.delivered regressed: 1 -> 0"));
     }
 
     #[test]

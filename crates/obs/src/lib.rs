@@ -29,6 +29,7 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod frame;
 pub mod health;
 pub mod metrics;
 pub mod stage;
@@ -36,6 +37,7 @@ pub mod timeline;
 pub mod tracer;
 
 pub use export::{attribute, spans, Attribution, ParTraceMeta, Span};
+pub use frame::{LinkVals, MetricsFrame, MetricsSchema};
 pub use health::{BufferAudit, HealthConfig, HealthMonitor, HealthReport, Violation};
 pub use metrics::{LinkLoad, QuantileSummary, Snapshot};
 pub use stage::Stage;

@@ -14,9 +14,11 @@
 //! same-seed run reproduces the file byte for byte (the CI timeline gate
 //! compares two runs with `cmp`).
 
-use crate::metrics::Snapshot;
+use crate::frame::{LinkVals, MetricsFrame, MetricsSchema};
+use crate::metrics::{LinkLoad, QuantileSummary, Snapshot};
 use serde::Serialize;
 use std::io;
+use std::sync::Arc;
 
 /// One sampling interval's worth of change.
 ///
@@ -34,12 +36,78 @@ pub struct IntervalSample {
     pub delta: Snapshot,
 }
 
+/// One interval recorded through the allocation-free frame path: the same
+/// information as an [`IntervalSample`], with names factored out into the
+/// bound [`MetricsSchema`]. Two small `Vec`s per sample instead of a
+/// `String` per counter per sample.
+#[derive(Debug, Clone)]
+struct FrameSample {
+    t_ns: u64,
+    interval_ns: u64,
+    /// Per-interval counter deltas, positional against the schema.
+    counters: Vec<u64>,
+    /// Per-interval link deltas, positional against the schema.
+    links: Vec<LinkVals>,
+    /// Cumulative blocking quantiles at `t_ns`.
+    blocking: QuantileSummary,
+}
+
+impl FrameSample {
+    /// Re-join with the schema into the classic artifact row. The delta
+    /// snapshot's `at_ns` is the interval span, exactly as
+    /// [`Snapshot::delta`] produces.
+    fn materialize(&self, schema: &MetricsSchema) -> IntervalSample {
+        let mut delta = Snapshot::new();
+        delta.at_ns = self.interval_ns;
+        for (k, &v) in schema.counter_keys.iter().zip(&self.counters) {
+            delta.counters.insert(k.clone(), v);
+        }
+        delta.links = schema
+            .link_names
+            .iter()
+            .zip(&self.links)
+            .map(
+                |(name, &[fwd_bytes, rev_bytes, fwd_blocked_ns, rev_blocked_ns])| LinkLoad {
+                    link: name.clone(),
+                    fwd_bytes,
+                    rev_bytes,
+                    fwd_blocked_ns,
+                    rev_blocked_ns,
+                },
+            )
+            .collect();
+        delta.blocking = self.blocking;
+        IntervalSample {
+            t_ns: self.t_ns,
+            interval_ns: self.interval_ns,
+            delta,
+        }
+    }
+}
+
 /// Collects periodic [`Snapshot`]s and turns them into an interval series.
+///
+/// Two recording paths share one artifact format:
+///
+/// * [`Self::record`] — legacy, takes a full [`Snapshot`] per sample
+///   (string-keyed; allocates proportionally to the counter count);
+/// * [`Self::bind_schema`] + [`Self::record_frame`] — hot-path, takes a
+///   positional [`MetricsFrame`] per sample and stores compact delta
+///   vectors (two small allocations per sample). Names are re-joined only
+///   when the artifact is written.
+///
+/// A sampler is driven through one path or the other for its whole life;
+/// [`Self::write_jsonl`] and [`Self::rows`] merge both stores in recording
+/// order, so mixed use is not wrong — merely unordered across the two
+/// stores.
 #[derive(Debug, Clone)]
 pub struct TimelineSampler {
     interval_ns: u64,
     base: Snapshot,
     samples: Vec<IntervalSample>,
+    schema: Option<Arc<MetricsSchema>>,
+    base_frame: Option<MetricsFrame>,
+    frame_samples: Vec<FrameSample>,
 }
 
 impl TimelineSampler {
@@ -58,7 +126,20 @@ impl TimelineSampler {
             interval_ns,
             base: Snapshot::new(),
             samples: Vec::new(),
+            schema: None,
+            base_frame: None,
+            frame_samples: Vec::new(),
         }
+    }
+
+    /// Switch this sampler to the allocation-free frame path: subsequent
+    /// samples arrive via [`Self::record_frame`] as positional
+    /// [`MetricsFrame`]s against `schema`. The first frame diffs against a
+    /// zeroed time-zero frame, mirroring the legacy path's empty base
+    /// snapshot.
+    pub fn bind_schema(&mut self, schema: Arc<MetricsSchema>) {
+        self.base_frame = Some(MetricsFrame::for_schema(&schema));
+        self.schema = Some(schema);
     }
 
     /// Nominal sampling cadence in sim nanoseconds.
@@ -79,30 +160,97 @@ impl TimelineSampler {
         self.base = snap;
     }
 
-    /// The interval series recorded so far.
+    /// Record one frame through the allocation-free path; the stored
+    /// sample is its positional delta against the previously recorded
+    /// frame. Steady-state cost: two small `Vec` allocations for the delta
+    /// plus an in-place copy of the base.
+    ///
+    /// # Panics
+    /// Panics when no schema is bound (see [`Self::bind_schema`]).
+    pub fn record_frame(&mut self, frame: &MetricsFrame) {
+        let base = self
+            .base_frame
+            .as_mut()
+            // detlint::allow(S001, bind_schema is a precondition of record_frame)
+            .expect("record_frame requires bind_schema");
+        let counters: Vec<u64> = frame
+            .counters
+            .iter()
+            .zip(&base.counters)
+            .map(|(&v, &b)| v.saturating_sub(b))
+            .collect();
+        let links: Vec<LinkVals> = frame
+            .links
+            .iter()
+            .zip(&base.links)
+            .map(|(v, b)| {
+                [
+                    v[0].saturating_sub(b[0]),
+                    v[1].saturating_sub(b[1]),
+                    v[2].saturating_sub(b[2]),
+                    v[3].saturating_sub(b[3]),
+                ]
+            })
+            .collect();
+        self.frame_samples.push(FrameSample {
+            t_ns: frame.at_ns,
+            interval_ns: frame.at_ns.saturating_sub(base.at_ns),
+            counters,
+            links,
+            blocking: frame.blocking,
+        });
+        base.copy_from(frame);
+    }
+
+    /// The legacy-path interval series recorded so far (frame-path samples
+    /// are compact and name-free; materialize them via [`Self::rows`]).
     pub fn samples(&self) -> &[IntervalSample] {
         &self.samples
     }
 
-    /// Number of samples recorded.
+    /// Every recorded interval as artifact rows, both paths merged in
+    /// recording order (legacy first). Frame-path samples are re-joined
+    /// with the bound schema here; this is the accessor tests and
+    /// post-processing should use.
+    pub fn rows(&self) -> Vec<IntervalSample> {
+        let mut out = self.samples.clone();
+        if let Some(schema) = &self.schema {
+            out.extend(self.frame_samples.iter().map(|s| s.materialize(schema)));
+        }
+        out
+    }
+
+    /// Number of samples recorded (both paths).
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.len() + self.frame_samples.len()
     }
 
     /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.samples.is_empty() && self.frame_samples.is_empty()
     }
 
     /// Stream the series as JSONL (one compact object per line) into `w`.
     /// Callers wrap file sinks in a `BufWriter` (see `itb_bench`'s
-    /// `dump_stream`); each line is one small write.
+    /// `dump_stream`); each line is one small write. Frame-path samples
+    /// serialize through the same [`IntervalSample`] serde shape as legacy
+    /// ones, so the artifact is byte-identical regardless of which
+    /// recording path produced it.
     pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
         for s in &self.samples {
             // detlint::allow(S001, interval samples serialize by construction)
             let line = serde_json::to_string(s).expect("interval sample serializes");
             w.write_all(line.as_bytes())?;
             w.write_all(b"\n")?;
+        }
+        if let Some(schema) = &self.schema {
+            for fs in &self.frame_samples {
+                let s = fs.materialize(schema);
+                // detlint::allow(S001, interval samples serialize by construction)
+                let line = serde_json::to_string(&s).expect("interval sample serializes");
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+            }
         }
         Ok(())
     }
@@ -167,5 +315,47 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_rejected() {
         let _ = TimelineSampler::new(0);
+    }
+
+    #[test]
+    fn frame_path_reproduces_legacy_jsonl_byte_for_byte() {
+        use crate::frame::{MetricsFrame, MetricsSchema};
+
+        // Legacy path.
+        let mut legacy = TimelineSampler::new(1000);
+        legacy.record(snap(1000, 10, 512));
+        legacy.record(snap(2500, 25, 2048));
+
+        // Frame path over the same series. Fill order deliberately differs
+        // from sorted order to prove sorting happens at materialization.
+        let schema = MetricsSchema::new(vec!["net.injected".into()], vec!["h0-s0".into()]);
+        let mut framed = TimelineSampler::new(1000);
+        framed.bind_schema(schema.clone());
+        let mut f = MetricsFrame::for_schema(&schema);
+        f.at_ns = 1000;
+        f.counters[0] = 10;
+        f.links[0] = [512, 0, 0, 0];
+        framed.record_frame(&f);
+        f.at_ns = 2500;
+        f.counters[0] = 25;
+        f.links[0] = [2048, 0, 0, 0];
+        framed.record_frame(&f);
+
+        assert_eq!(framed.len(), 2);
+        assert_eq!(framed.to_jsonl(), legacy.to_jsonl());
+        // rows() materializes the same deltas the legacy store holds.
+        let rows = framed.rows();
+        assert_eq!(rows[1].delta.counter("net.injected"), 15);
+        assert_eq!(rows[1].interval_ns, 1500);
+        assert_eq!(rows[1].delta.links[0].fwd_bytes, 1536);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires bind_schema")]
+    fn record_frame_without_schema_rejected() {
+        use crate::frame::{MetricsFrame, MetricsSchema};
+        let schema = MetricsSchema::new(vec![], vec![]);
+        let mut t = TimelineSampler::new(1);
+        t.record_frame(&MetricsFrame::for_schema(&schema));
     }
 }

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod fxmap;
 pub mod par;
 pub mod queue;
+pub mod rate;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -38,6 +39,7 @@ pub use engine::{run_for, run_until, run_while, World};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use par::{run_shards, Envelope, ParReport, ShardWorld};
 pub use queue::EventQueue;
+pub use rate::ByteInterval;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};
 

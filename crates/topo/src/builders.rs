@@ -272,6 +272,140 @@ pub fn torus2d(rows: usize, cols: usize, hosts_per_switch: usize) -> Topology {
     t
 }
 
+/// A three-tier `k`-ary fat tree (Clos folded onto itself), the canonical
+/// scalable data-center fabric: `(k/2)²` core switches, `k` pods of `k/2`
+/// aggregation plus `k/2` edge switches, and `k³/4` hosts (`k/2` per edge
+/// switch). Every switch has exactly `k` ports. Entirely deterministic —
+/// no RNG — so the same `k` always wires the identical topology.
+///
+/// Switch numbering: cores first (`(k/2)²`), then per pod its `k/2`
+/// aggregation switches followed by its `k/2` edge switches. Core switch
+/// `i·(k/2)+j` serves aggregation index `i` of every pod on its port `p`
+/// (one per pod `p`); edge uplinks round-robin across the pod's
+/// aggregation layer.
+///
+/// # Panics
+/// Panics unless `k` is even and at least 2.
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree arity must be even and >= 2"
+    );
+    let half = k / 2;
+    let mut t = Topology::new();
+    // Cores: (k/2)^2 switches with k ports, one per pod.
+    let cores: Vec<_> = (0..half * half).map(|_| t.add_switch_uniform(k)).collect();
+    // Pods: k/2 aggregation + k/2 edge switches each, k ports each.
+    let mut aggs: Vec<Vec<SwitchId>> = Vec::with_capacity(k);
+    let mut edges: Vec<Vec<SwitchId>> = Vec::with_capacity(k);
+    for _pod in 0..k {
+        aggs.push((0..half).map(|_| t.add_switch_uniform(k)).collect());
+        edges.push((0..half).map(|_| t.add_switch_uniform(k)).collect());
+    }
+    for pod in 0..k {
+        for (e, &edge) in edges[pod].iter().enumerate() {
+            // Hosts on the edge switch's low ports.
+            for p in 0..half {
+                let h = t.add_host(PortKind::San);
+                t.connect_host(h, edge, narrow(p), cable::SAN)
+                    // detlint::allow(S001, fat-tree port accounting is static and in range)
+                    .expect("static wiring is in range");
+            }
+            // Uplinks: edge port k/2+a to aggregation a's port e.
+            for (a, &agg) in aggs[pod].iter().enumerate() {
+                t.connect_switches(edge, narrow(half + a), agg, narrow(e), cable::SAN)
+                    // detlint::allow(S001, fat-tree port accounting is static and in range)
+                    .expect("static wiring is in range");
+            }
+        }
+        // Aggregation a's uplinks: port k/2+j to core a*(k/2)+j, which
+        // receives this pod on its port `pod`.
+        for (a, &agg) in aggs[pod].iter().enumerate() {
+            for j in 0..half {
+                t.connect_switches(
+                    agg,
+                    narrow(half + j),
+                    cores[a * half + j],
+                    narrow(pod),
+                    cable::SAN,
+                )
+                // detlint::allow(S001, fat-tree port accounting is static and in range)
+                .expect("static wiring is in range");
+            }
+        }
+    }
+    // detlint::allow(S001, validate re-checks the finished fat-tree graph)
+    t.validate().expect("fat-tree wiring is valid");
+    t
+}
+
+/// A two-tier leaf–spine Clos: every leaf cables one uplink to every spine
+/// (round-robin port assignment), hosts hang off the leaves. The flattened
+/// building block of [`fat_tree`], parameterized independently so oversubscribed
+/// (`spines < hosts_per_leaf`) and rearrangeably non-blocking
+/// (`spines >= hosts_per_leaf`) fabrics are both one call away. Entirely
+/// deterministic — no RNG.
+///
+/// Switch numbering: spines first, then leaves. Leaf `l` uses ports
+/// `0..hosts_per_leaf` for hosts and port `hosts_per_leaf + s` for spine
+/// `s`, which receives leaf `l` on its port `l`.
+///
+/// # Panics
+/// Panics unless there are at least 2 leaves, 1 spine and 1 host per leaf.
+pub fn clos(leaves: usize, spines: usize, hosts_per_leaf: usize) -> Topology {
+    assert!(leaves >= 2, "need at least two leaves");
+    assert!(spines >= 1, "need at least one spine");
+    assert!(hosts_per_leaf >= 1, "need at least one host per leaf");
+    let mut t = Topology::new();
+    let spine_ids: Vec<_> = (0..spines).map(|_| t.add_switch_uniform(leaves)).collect();
+    let leaf_ports = hosts_per_leaf + spines;
+    for l in 0..leaves {
+        let leaf = t.add_switch_uniform(leaf_ports);
+        for p in 0..hosts_per_leaf {
+            let h = t.add_host(PortKind::San);
+            t.connect_host(h, leaf, narrow(p), cable::SAN)
+                // detlint::allow(S001, leaf-spine port accounting is static and in range)
+                .expect("static wiring is in range");
+        }
+        for (s, &spine) in spine_ids.iter().enumerate() {
+            t.connect_switches(
+                leaf,
+                narrow(hosts_per_leaf + s),
+                spine,
+                narrow(l),
+                cable::SAN,
+            )
+            // detlint::allow(S001, leaf-spine port accounting is static and in range)
+            .expect("static wiring is in range");
+        }
+    }
+    // detlint::allow(S001, validate re-checks the finished leaf-spine graph)
+    t.validate().expect("leaf-spine wiring is valid");
+    t
+}
+
+/// Canonical seed of the [`irregular1024`] planet-scale preset (recorded
+/// like [`IRREGULAR64_SEED`]; deliberately equal to the deadlock audit's
+/// fresh-fabric seed so the hybrid gauntlet exercises wiring the static
+/// audit has already proven deadlock-free — but with the evaluation host
+/// density, see [`irregular_big`]).
+pub const IRREGULAR1024_SEED: u64 = 1024;
+
+/// A big seeded irregular in the exact style of [`irregular64`]:
+/// [`IrregularSpec::evaluation_default`] geometry (8-port switches, 4
+/// hosts each) at an arbitrary switch count. The hybrid flow/packet
+/// engine's scaling presets layer on this.
+pub fn irregular_big(switches: usize, seed: u64) -> Topology {
+    random_irregular(&IrregularSpec::evaluation_default(switches, seed))
+}
+
+/// The 1024-switch, 4096-host irregular preset used by the
+/// `large_load_1024sw` hybrid gauntlet scenario: [`irregular_big`] at the
+/// recorded [`IRREGULAR1024_SEED`].
+pub fn irregular1024() -> Topology {
+    irregular_big(1024, IRREGULAR1024_SEED)
+}
+
 /// Parameters for [`random_irregular`].
 #[derive(Debug, Clone)]
 pub struct IrregularSpec {
@@ -595,6 +729,50 @@ mod tests {
         let t = torus2d(2, 2, 1);
         t.validate().unwrap();
         assert_eq!(t.num_switches(), 4);
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let t = fat_tree(4);
+        // (k/2)^2 = 4 cores + k pods * k switches = 4 + 16 = 20.
+        assert_eq!(t.num_switches(), 20);
+        assert_eq!(t.num_hosts(), 16); // k^3/4
+        t.validate().unwrap();
+        // Cores see k distinct aggregation neighbours.
+        for c in 0..4u16 {
+            assert_eq!(t.switch_neighbors(SwitchId(c)).count(), 4);
+            assert!(t.hosts_at(SwitchId(c)).is_empty());
+        }
+        // Pod 0: switches 4,5 aggregation (no hosts), 6,7 edge (k/2 hosts).
+        assert!(t.hosts_at(SwitchId(4)).is_empty());
+        assert_eq!(t.hosts_at(SwitchId(6)).len(), 2);
+        assert_eq!(t.switch_neighbors(SwitchId(4)).count(), 4);
+        assert_eq!(t.switch_neighbors(SwitchId(6)).count(), 2);
+    }
+
+    #[test]
+    fn clos_shape() {
+        let t = clos(4, 2, 3);
+        assert_eq!(t.num_switches(), 6); // 2 spines + 4 leaves
+        assert_eq!(t.num_hosts(), 12);
+        t.validate().unwrap();
+        // Spines are 0..2: one neighbour per leaf, no hosts.
+        assert_eq!(t.switch_neighbors(SwitchId(0)).count(), 4);
+        assert!(t.hosts_at(SwitchId(0)).is_empty());
+        // Leaves are 2..6: one neighbour per spine, 3 hosts.
+        assert_eq!(t.switch_neighbors(SwitchId(2)).count(), 2);
+        assert_eq!(t.hosts_at(SwitchId(2)).len(), 3);
+    }
+
+    #[test]
+    fn irregular_big_matches_spec() {
+        let a = irregular_big(12, 5);
+        let b = random_irregular(&IrregularSpec::evaluation_default(12, 5));
+        assert_eq!(a.num_links(), b.num_links());
+        for lid in a.link_ids() {
+            assert_eq!(a.link(lid).a, b.link(lid).a);
+            assert_eq!(a.link(lid).b, b.link(lid).b);
+        }
     }
 
     #[test]

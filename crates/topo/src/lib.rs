@@ -28,6 +28,6 @@ pub mod updown;
 
 pub use graph::{Endpoint, Link, Topology};
 pub use ids::{HostId, LinkId, Node, PortIx, PortKind, SwitchId};
-pub use partition::{partition, Partition};
+pub use partition::{partition, Partition, RegionFidelity, RegionPlan};
 pub use spanning::SpanningTree;
 pub use updown::UpDown;

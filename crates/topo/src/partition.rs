@@ -73,6 +73,90 @@ fn switch_weight(topo: &Topology, s: SwitchId) -> u64 {
     1 + topo.hosts_at(s).len() as u64
 }
 
+/// Modelling fidelity of one region in the hybrid flow/packet engine.
+///
+/// `Packet` regions simulate every flit through the cut-through switch model
+/// (full contention, ITB ejection/reinjection, CRC checks). `Flow` regions
+/// replace per-packet events with a max-min fair per-flow rate allocation
+/// advanced in coarse rounds — orders of magnitude fewer events, no
+/// per-packet state, but no transient contention either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionFidelity {
+    /// Full flit-level fidelity: every packet traverses the switch model.
+    Packet,
+    /// Flow-level fidelity: analytic max-min rate allocation, coarse rounds.
+    Flow,
+}
+
+/// A [`Partition`] with a fidelity assignment per region (shard).
+///
+/// The hybrid engine consults the plan when a message is submitted: if every
+/// switch on its route lies in `Flow` regions (and the route crosses no ITB
+/// hop), the message is carried by the flow engine; otherwise it takes the
+/// packet path. Regions can only *escalate* (`Flow` → `Packet`) at runtime —
+/// de-escalation would require reconstructing in-flight per-packet state from
+/// aggregate rates, which cannot be done deterministically.
+#[derive(Debug, Clone)]
+pub struct RegionPlan {
+    /// The underlying region decomposition (regions == shards).
+    pub part: Partition,
+    /// Fidelity of each region, indexed by shard id.
+    pub fidelity: Vec<RegionFidelity>,
+}
+
+impl RegionPlan {
+    /// Plan with every region at full packet fidelity. The hybrid engine is
+    /// byte-identical to the classic sequential engine under this plan.
+    pub fn all_packet(part: Partition) -> Self {
+        let n = part.shards as usize;
+        Self {
+            part,
+            fidelity: vec![RegionFidelity::Packet; n],
+        }
+    }
+
+    /// Plan with every region at flow-level fidelity.
+    pub fn all_flow(part: Partition) -> Self {
+        let n = part.shards as usize;
+        Self {
+            part,
+            fidelity: vec![RegionFidelity::Flow; n],
+        }
+    }
+
+    /// Fidelity of the region owning switch `s`.
+    #[inline]
+    pub fn fidelity_of_switch(&self, s: SwitchId) -> RegionFidelity {
+        self.fidelity[self.part.shard_of(s) as usize]
+    }
+
+    /// Escalate region `region` to packet fidelity. Returns `true` when the
+    /// call changed the plan (the region was at `Flow`).
+    pub fn escalate(&mut self, region: u32) -> bool {
+        let slot = &mut self.fidelity[region as usize];
+        if *slot == RegionFidelity::Flow {
+            *slot = RegionFidelity::Packet;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when every region is at packet fidelity (the hybrid engine can
+    /// skip its flow machinery entirely).
+    pub fn is_all_packet(&self) -> bool {
+        self.fidelity.iter().all(|&f| f == RegionFidelity::Packet)
+    }
+
+    /// Number of regions currently at flow fidelity.
+    pub fn flow_regions(&self) -> usize {
+        self.fidelity
+            .iter()
+            .filter(|&&f| f == RegionFidelity::Flow)
+            .count()
+    }
+}
+
 /// Partition `topo` into at most `shards` shards, deterministically in
 /// `(topo, shards, seed)`.
 ///
@@ -310,6 +394,36 @@ mod tests {
                 .expect("topology has links");
             assert!(m >= global_min);
         }
+    }
+
+    #[test]
+    fn region_plan_escalation_is_one_way() {
+        let spec = builders::IrregularSpec::evaluation_default(16, 4);
+        let topo = builders::random_irregular(&spec);
+        let mut plan = RegionPlan::all_flow(partition(&topo, 4, 9));
+        assert!(!plan.is_all_packet());
+        assert_eq!(plan.flow_regions(), plan.part.shards as usize);
+        for s in topo.switch_ids() {
+            assert_eq!(plan.fidelity_of_switch(s), RegionFidelity::Flow);
+        }
+        assert!(plan.escalate(0), "first escalation flips the region");
+        assert!(!plan.escalate(0), "already at packet: no change");
+        for s in topo.switch_ids() {
+            let expect = if plan.part.shard_of(s) == 0 {
+                RegionFidelity::Packet
+            } else {
+                RegionFidelity::Flow
+            };
+            assert_eq!(plan.fidelity_of_switch(s), expect);
+        }
+        for r in 1..plan.part.shards {
+            plan.escalate(r);
+        }
+        assert!(plan.is_all_packet());
+        assert_eq!(plan.flow_regions(), 0);
+
+        let all_pkt = RegionPlan::all_packet(partition(&topo, 4, 9));
+        assert!(all_pkt.is_all_packet());
     }
 
     #[test]

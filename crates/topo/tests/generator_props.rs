@@ -1,0 +1,149 @@
+//! Property-based tests for the large-topology generators feeding the
+//! hybrid flow/packet engine: fat-trees, folded-Clos fabrics and the big
+//! seeded irregulars must be connected, carry the radix/level/host counts
+//! their parameters promise, and be byte-for-byte reproducible per seed.
+
+use itb_topo::builders::{clos, fat_tree, irregular_big};
+use itb_topo::{SwitchId, Topology};
+use proptest::prelude::*;
+
+/// Canonical wire-level serialization of a topology: every link's endpoints
+/// and propagation delay in link-id order, plus the switch/host rosters.
+/// Two topologies with equal bytes have identical adjacency — the
+/// determinism contract the seeded generators must satisfy.
+fn adjacency_bytes(topo: &Topology) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sw={} hosts={};",
+        topo.num_switches(),
+        topo.num_hosts()
+    ));
+    for s in topo.switch_ids() {
+        out.push_str(&format!("p{}={};", s.idx(), topo.switch_port_count(s)));
+    }
+    for lid in topo.link_ids() {
+        let l = topo.link(lid);
+        out.push_str(&format!(
+            "{:?}:{:?}->{:?}:{:?}@{}ps;",
+            l.a.node,
+            l.a.port,
+            l.b.node,
+            l.b.port,
+            l.propagation.as_ps()
+        ));
+    }
+    out.into_bytes()
+}
+
+/// BFS over the switch graph from switch 0: every switch must be reachable.
+fn switch_graph_connected(topo: &Topology) -> bool {
+    let n = topo.num_switches();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut frontier = vec![0usize];
+    seen[0] = true;
+    while let Some(u) = frontier.pop() {
+        for (_, _, v) in topo.switch_neighbors(SwitchId(u as u16)) {
+            if !seen[v.idx()] {
+                seen[v.idx()] = true;
+                frontier.push(v.idx());
+            }
+        }
+    }
+    seen.into_iter().all(|b| b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A k-ary fat-tree has (k/2)^2 cores, k pods of k switches, k^3/4
+    /// hosts; cores and aggregations carry k switch links, edges carry k/2
+    /// switch links plus k/2 hosts; the switch graph is connected.
+    #[test]
+    fn fat_tree_shape_and_connectivity(half in 1usize..=4) {
+        let k = half * 2;
+        let topo = fat_tree(k);
+        let cores = half * half;
+        prop_assert_eq!(topo.num_switches(), cores + k * k);
+        prop_assert_eq!(topo.num_hosts(), k * half * half);
+        prop_assert!(switch_graph_connected(&topo));
+        for s in topo.switch_ids() {
+            let nbrs = topo.switch_neighbors(s).count();
+            let hosts = topo.hosts_at(s).len();
+            if s.idx() < cores {
+                // Core: one downlink per pod, no hosts.
+                prop_assert_eq!(nbrs, k);
+                prop_assert_eq!(hosts, 0);
+            } else {
+                // Pods are laid out aggs-then-edges, k/2 of each.
+                let in_pod = (s.idx() - cores) % k;
+                if in_pod < half {
+                    prop_assert_eq!(nbrs, k);
+                    prop_assert_eq!(hosts, 0);
+                } else {
+                    prop_assert_eq!(nbrs, half);
+                    prop_assert_eq!(hosts, half);
+                }
+            }
+        }
+    }
+
+    /// A folded Clos wires every leaf to every spine exactly once, puts all
+    /// hosts on leaves, and is connected whenever both tiers are non-empty.
+    #[test]
+    fn clos_shape_and_connectivity(
+        (leaves, spines, hosts_per_leaf) in (2usize..=8, 1usize..=4, 1usize..=4),
+    ) {
+        let topo = clos(leaves, spines, hosts_per_leaf);
+        prop_assert_eq!(topo.num_switches(), spines + leaves);
+        prop_assert_eq!(topo.num_hosts(), leaves * hosts_per_leaf);
+        prop_assert_eq!(topo.num_links(), leaves * spines + leaves * hosts_per_leaf);
+        prop_assert!(switch_graph_connected(&topo));
+        for s in topo.switch_ids() {
+            let nbrs = topo.switch_neighbors(s).count();
+            let hosts = topo.hosts_at(s).len();
+            if s.idx() < spines {
+                prop_assert_eq!(nbrs, leaves);
+                prop_assert_eq!(hosts, 0);
+            } else {
+                prop_assert_eq!(nbrs, spines);
+                prop_assert_eq!(hosts, hosts_per_leaf);
+            }
+        }
+    }
+
+    /// The seeded irregular generator at evaluation host density: connected,
+    /// right roster sizes, and byte-identical adjacency per (size, seed) —
+    /// the reproducibility contract the 1024-switch scenario pins.
+    #[test]
+    fn irregular_big_deterministic_and_connected(
+        (switches, seed) in (4usize..=48, any::<u64>()),
+    ) {
+        let a = irregular_big(switches, seed);
+        prop_assert_eq!(a.num_switches(), switches);
+        // Evaluation density: 4 hosts per switch.
+        prop_assert_eq!(a.num_hosts(), switches * 4);
+        prop_assert!(switch_graph_connected(&a));
+        let b = irregular_big(switches, seed);
+        prop_assert_eq!(adjacency_bytes(&a), adjacency_bytes(&b));
+        // A different seed must not (generically) reproduce the same wiring;
+        // tiny graphs can collide, so only check at a size with room.
+        if switches >= 12 {
+            let c = irregular_big(switches, seed ^ 0xD1CE);
+            prop_assert!(adjacency_bytes(&a) != adjacency_bytes(&c));
+        }
+    }
+
+    /// The structured generators are pure functions of their parameters.
+    #[test]
+    fn structured_generators_deterministic(half in 1usize..=3) {
+        let k = half * 2;
+        prop_assert_eq!(adjacency_bytes(&fat_tree(k)), adjacency_bytes(&fat_tree(k)));
+        prop_assert_eq!(
+            adjacency_bytes(&clos(k, half, 2)),
+            adjacency_bytes(&clos(k, half, 2))
+        );
+    }
+}

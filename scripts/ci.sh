@@ -76,6 +76,13 @@ ITB_RESULTS_DIR="$perf_a" cargo run --release -q -p itb-bench --bin perf_gauntle
 ITB_RESULTS_DIR="$perf_b" cargo run --release -q -p itb-bench --bin perf_gauntlet -- --smoke
 cmp "$perf_a/perf_gauntlet_digest.json" "$perf_b/perf_gauntlet_digest.json"
 
+echo "== perf-regression gate (BENCH_perf.json trajectory) =="
+# Newest committed trajectory entry vs the one before it: any scenario
+# whose events/sec dropped >20% fails the build. Intentional re-baselines
+# (new machine, redefined scenario) acknowledge the drop explicitly with
+# ITB_BENCH_BASELINE_RESET=1 rather than by loosening the tolerance.
+cargo run --release -q -p itb-bench --bin perf_gate
+
 echo "== model check smoke (exhaustive interleavings, zero violations) =="
 # Depth-bounded exhaustive BFS over delivery/fault interleavings on the
 # two-host configs; any invariant violation (duplicate / reordered

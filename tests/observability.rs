@@ -43,7 +43,9 @@ fn healthy_run_yields_timeline_samples_and_clean_health_report() {
     // health monitor checks online).
     let finale = c.metrics_snapshot(now);
     let mut summed = 0u64;
-    for s in timeline.samples() {
+    // rows() materializes frame-path samples into the classic artifact
+    // shape; the cluster records through the allocation-free frame path.
+    for s in timeline.rows() {
         assert_eq!(s.interval_ns, 50_000);
         summed += s.delta.counters.get("net.delivered").copied().unwrap_or(0);
     }
